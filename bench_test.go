@@ -1,0 +1,169 @@
+package realloc_test
+
+// The benchmark suite regenerates every experiment of EXPERIMENTS.md
+// (BenchmarkE1..BenchmarkE10 — one per table/figure reproduced from the
+// paper) and measures raw request throughput for the three reallocator
+// variants and every baseline allocator.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"realloc"
+	"realloc/internal/addrspace"
+	"realloc/internal/baseline"
+	"realloc/internal/core"
+	"realloc/internal/exp"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+// benchExperiment runs one harness experiment per iteration and reports a
+// headline finding as a custom metric.
+func benchExperiment(b *testing.B, id string, metricKey, metricName string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(exp.Config{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metricKey != "" {
+			last = res.Findings[metricKey]
+		}
+	}
+	if metricKey != "" {
+		b.ReportMetric(last, metricName)
+	}
+}
+
+func BenchmarkE1FootprintVsEpsilon(b *testing.B) {
+	benchExperiment(b, "E1", "amortized/0.1/structRatio", "footprint-ratio@eps=0.1")
+}
+
+func BenchmarkE2CostObliviousness(b *testing.B) {
+	benchExperiment(b, "E2", "0.1/unit/ratio", "unit-cost-ratio@eps=0.1")
+}
+
+func BenchmarkE3BaselineCrossover(b *testing.B) {
+	benchExperiment(b, "E3", "unitkiller/1024/logcompact/perDeletion", "logcompact-cost/deletion@1024")
+}
+
+func BenchmarkE4NoMoveLowerBound(b *testing.B) {
+	benchExperiment(b, "E4", "10/firstfit/finalRatio", "firstfit-footprint-ratio@maxExp=10")
+}
+
+func BenchmarkE5Defrag(b *testing.B) {
+	benchExperiment(b, "E5", "0.25/meanMoves", "moves/object@eps=0.25")
+}
+
+func BenchmarkE6Checkpoints(b *testing.B) {
+	benchExperiment(b, "E6", "0.1/maxCkptPerFlush", "max-ckpts/flush@eps=0.1")
+}
+
+func BenchmarkE7Deamortized(b *testing.B) {
+	benchExperiment(b, "E7", "deamortized/maxOpVolume", "max-op-volume")
+}
+
+func BenchmarkE8LowerBound(b *testing.B) {
+	benchExperiment(b, "E8", "1024/amortized/linear", "maxOp/f(delta)@1024")
+}
+
+func BenchmarkE9Figures(b *testing.B) {
+	benchExperiment(b, "E9", "fig1/after", "fig1-footprint-after")
+}
+
+func BenchmarkE10Ablations(b *testing.B) {
+	benchExperiment(b, "E10", "epsPrime/4/structRatio", "struct-ratio@eps'/4")
+}
+
+func BenchmarkE11DatabaseEndToEnd(b *testing.B) {
+	benchExperiment(b, "E11", "deamortized/hdd/ratio", "hdd-cost-ratio")
+}
+
+func BenchmarkE12PriceOfObliviousness(b *testing.B) {
+	benchExperiment(b, "E12", "premium/linear", "linear-premium")
+}
+
+// benchChurnTarget measures steady-state request throughput.
+func benchChurnTarget(b *testing.B, t workload.Target) {
+	churn := &workload.Churn{
+		Seed:         7,
+		Sizes:        workload.Uniform{Min: 1, Max: 256},
+		TargetVolume: 100000,
+	}
+	// Warm up to steady state outside the timer.
+	if _, err := workload.Drive(t, churn, 3000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _ := churn.Next()
+		var err error
+		if op.Insert {
+			err = t.Insert(op.ID, op.Size)
+		} else {
+			err = t.Delete(op.ID)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newVariant(b *testing.B, v core.Variant) *core.Reallocator {
+	r, err := core.New(core.Config{Epsilon: 0.25, Variant: v, Recorder: trace.Null{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func BenchmarkChurnAmortized(b *testing.B)    { benchChurnTarget(b, newVariant(b, core.Amortized)) }
+func BenchmarkChurnCheckpointed(b *testing.B) { benchChurnTarget(b, newVariant(b, core.Checkpointed)) }
+func BenchmarkChurnDeamortized(b *testing.B)  { benchChurnTarget(b, newVariant(b, core.Deamortized)) }
+func BenchmarkChurnFirstFit(b *testing.B)     { benchChurnTarget(b, baseline.NewFirstFit(nil)) }
+func BenchmarkChurnBestFit(b *testing.B)      { benchChurnTarget(b, baseline.NewBestFit(nil)) }
+func BenchmarkChurnBuddy(b *testing.B)        { benchChurnTarget(b, baseline.NewBuddy(nil)) }
+func BenchmarkChurnLogCompact(b *testing.B)   { benchChurnTarget(b, baseline.NewLogCompact(nil)) }
+func BenchmarkChurnClassGap(b *testing.B)     { benchChurnTarget(b, baseline.NewClassGap(nil)) }
+
+// BenchmarkPublicAPI measures the public facade's overhead.
+func BenchmarkPublicAPI(b *testing.B) {
+	r, err := realloc.New(realloc.WithEpsilon(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	churn := &workload.Churn{Seed: 3, Sizes: workload.Uniform{Min: 1, Max: 128}, TargetVolume: 50000}
+	if _, err := workload.Drive(publicAdapter{r}, churn, 2000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _ := churn.Next()
+		var err error
+		if op.Insert {
+			err = r.Insert(int64(op.ID), op.Size)
+		} else {
+			err = r.Delete(int64(op.ID))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// publicAdapter lets workload.Drive feed the public API.
+type publicAdapter struct{ r *realloc.Reallocator }
+
+func (p publicAdapter) Insert(id addrspace.ID, size int64) error {
+	return p.r.Insert(int64(id), size)
+}
+
+func (p publicAdapter) Delete(id addrspace.ID) error {
+	return p.r.Delete(int64(id))
+}

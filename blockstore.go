@@ -1,0 +1,83 @@
+package realloc
+
+import "realloc/internal/btl"
+
+// BlockStore is a crash-consistent database block store: logical block
+// names translate to physical extents managed by a checkpointed
+// cost-oblivious reallocator. Moving a block updates the in-memory
+// translation map; the durable copy is written at checkpoints, and space
+// freed since the last checkpoint is never rewritten — so recovery always
+// finds intact data at the addresses the durable map records.
+type BlockStore struct {
+	inner *btl.Store
+}
+
+// BlockStoreOption configures NewBlockStore.
+type BlockStoreOption func(*btl.Config)
+
+// BlockStoreEpsilon sets the footprint slack (default 0.25).
+func BlockStoreEpsilon(eps float64) BlockStoreOption {
+	return func(c *btl.Config) { c.Epsilon = eps }
+}
+
+// BlockStoreDeamortized selects the deamortized reallocator, bounding the
+// work any single block write performs.
+func BlockStoreDeamortized() BlockStoreOption {
+	return func(c *btl.Config) { c.Deamortized = true }
+}
+
+// NewBlockStore creates an empty block store.
+func NewBlockStore(opts ...BlockStoreOption) (*BlockStore, error) {
+	var cfg btl.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := btl.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStore{inner: inner}, nil
+}
+
+// Put creates a block.
+func (s *BlockStore) Put(name string, size int64) error { return s.inner.Put(name, size) }
+
+// Update rewrites a block at a new size.
+func (s *BlockStore) Update(name string, size int64) error { return s.inner.Update(name, size) }
+
+// Drop deletes a block.
+func (s *BlockStore) Drop(name string) error { return s.inner.Drop(name) }
+
+// Lookup translates a block name to its current physical extent.
+func (s *BlockStore) Lookup(name string) (Extent, bool) {
+	e, ok := s.inner.Lookup(name)
+	return Extent{Start: e.Start, Size: e.Size}, ok
+}
+
+// Len returns the number of live blocks.
+func (s *BlockStore) Len() int { return s.inner.Len() }
+
+// Footprint returns the largest allocated disk address.
+func (s *BlockStore) Footprint() int64 { return s.inner.Footprint() }
+
+// Volume returns the total live block volume.
+func (s *BlockStore) Volume() int64 { return s.inner.Volume() }
+
+// Checkpoint durably writes the translation map and recycles freed space.
+func (s *BlockStore) Checkpoint() { s.inner.Checkpoint() }
+
+// Checkpoints returns how many checkpoints have occurred (explicit plus
+// reallocator-forced).
+func (s *BlockStore) Checkpoints() int64 { return s.inner.Checkpoints() }
+
+// Crash simulates losing all volatile state.
+func (s *BlockStore) Crash() { s.inner.Crash() }
+
+// Recover rebuilds the store from the durable translation map, verifying
+// every mapped block's data survived. It returns the number of blocks
+// recovered; blocks created after the last checkpoint are lost (a real
+// database replays its logical log to restore them).
+func (s *BlockStore) Recover() (int, error) {
+	rep, err := s.inner.Recover()
+	return rep.Recovered, err
+}

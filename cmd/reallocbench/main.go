@@ -1,0 +1,54 @@
+// Command reallocbench regenerates the experiment suite of EXPERIMENTS.md:
+// every table and figure validating the paper's claims.
+//
+// Usage:
+//
+//	reallocbench [-e E1|E2|...|all] [-seed N] [-ops N] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"realloc/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("e", "all", "experiment to run (E1..E10 or 'all')")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		ops   = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
+		quick = flag.Bool("quick", false, "reduced scale for a fast pass")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick}
+	if strings.EqualFold(*which, "all") {
+		if err := exp.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "reallocbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := exp.ByID(*which)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "reallocbench: unknown experiment %q (try -list)\n", *which)
+		os.Exit(2)
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reallocbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s: %s ==\nClaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Text)
+}

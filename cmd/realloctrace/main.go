@@ -1,0 +1,141 @@
+// Command realloctrace captures and replays request traces.
+//
+// Usage:
+//
+//	realloctrace gen -workload churn|dbtrace|sawtooth [-ops N] [-seed N]
+//	    emit a generated trace to stdout in the text format
+//	    ("+ id size" / "- id size", one op per line)
+//
+//	realloctrace replay [-allocator amortized|checkpointed|deamortized|
+//	    firstfit|bestfit|buddy|logcompact|classgap] [-eps 0.25] < trace
+//	    replay a trace from stdin and report footprint and cost metrics
+//
+// Capture a trace from your own system in the same format to evaluate how
+// cost-oblivious reallocation would behave on your workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realloc/internal/baseline"
+	"realloc/internal/core"
+	"realloc/internal/cost"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		genCmd(os.Args[2:])
+	case "replay":
+		replayCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: realloctrace gen|replay [flags]")
+	os.Exit(2)
+}
+
+func genCmd(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("workload", "churn", "churn|dbtrace|sawtooth")
+	ops := fs.Int("ops", 10000, "number of requests")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	volume := fs.Int64("volume", 50000, "target live volume")
+	_ = fs.Parse(args)
+
+	var s workload.Stream
+	switch *kind {
+	case "churn":
+		s = &workload.Churn{Seed: *seed, Sizes: workload.Pareto{Min: 1, Max: 1024, Alpha: 1.2}, TargetVolume: *volume}
+	case "dbtrace":
+		s = &workload.DBTrace{Seed: *seed, Blocks: int(*volume / 128), MinBlock: 4, MaxBlock: 512}
+	case "sawtooth":
+		s = &workload.Sawtooth{Seed: *seed, Sizes: workload.Uniform{Min: 1, Max: 256}, Low: *volume / 4, High: *volume}
+	default:
+		fmt.Fprintf(os.Stderr, "realloctrace: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+	opsList := workload.Collect(s, *ops)
+	if err := workload.WriteOps(os.Stdout, opsList); err != nil {
+		fmt.Fprintln(os.Stderr, "realloctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	alloc := fs.String("allocator", "amortized", "amortized|checkpointed|deamortized|firstfit|bestfit|buddy|logcompact|classgap")
+	eps := fs.Float64("eps", 0.25, "footprint slack (reallocator variants)")
+	_ = fs.Parse(args)
+
+	ops, err := workload.ReadOps(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realloctrace:", err)
+		os.Exit(1)
+	}
+	if _, err := workload.Validate(ops); err != nil {
+		fmt.Fprintln(os.Stderr, "realloctrace: invalid trace:", err)
+		os.Exit(1)
+	}
+
+	m := trace.NewMetrics(append(cost.StandardFamily(), cost.MediaFamily()...)...)
+	var target workload.Target
+	switch *alloc {
+	case "amortized", "checkpointed", "deamortized":
+		variant := map[string]core.Variant{
+			"amortized": core.Amortized, "checkpointed": core.Checkpointed, "deamortized": core.Deamortized,
+		}[*alloc]
+		r, err := core.New(core.Config{Epsilon: *eps, Variant: variant, Recorder: m})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "realloctrace:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = r.Drain() }()
+		target = r
+	case "firstfit":
+		target = baseline.NewFirstFit(m)
+	case "bestfit":
+		target = baseline.NewBestFit(m)
+	case "buddy":
+		target = baseline.NewBuddy(m)
+	case "logcompact":
+		target = baseline.NewLogCompact(m)
+	case "classgap":
+		target = baseline.NewClassGap(m)
+	default:
+		fmt.Fprintf(os.Stderr, "realloctrace: unknown allocator %q\n", *alloc)
+		os.Exit(2)
+	}
+	n, err := workload.Drive(target, workload.Replay("stdin", ops), 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realloctrace:", err)
+		os.Exit(1)
+	}
+	if r, ok := target.(*core.Reallocator); ok {
+		if err := r.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "realloctrace:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("replayed %d requests against %s\n\n", n, *alloc)
+	fmt.Printf("final volume:      %d\n", m.FinalVolume)
+	fmt.Printf("final footprint:   %d\n", m.FinalFootprint)
+	fmt.Printf("max footprint/V:   %.4f (steady)\n", m.MaxRatioSteady)
+	fmt.Printf("moves:             %d (volume %d)\n", m.MovesTotal, m.MovedVolume)
+	fmt.Printf("flushes:           %d, checkpoints: %d\n\n", m.Flushes, m.CheckpointsTotal)
+	fmt.Println("reallocation cost / allocation cost per cost model:")
+	for _, l := range m.Meter.Lines() {
+		fmt.Printf("  %-16s %8.3f   (worst single request: %.1f)\n", l.Func, l.Ratio, l.MaxOpCost)
+	}
+}

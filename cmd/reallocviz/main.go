@@ -1,0 +1,94 @@
+// Command reallocviz renders the paper's figures and live layout
+// animations as ASCII.
+//
+// Usage:
+//
+//	reallocviz fig1|fig2|fig3       reproduce a figure from the paper
+//	reallocviz trace [-ops N]       animate the layout under random churn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realloc/internal/core"
+	"realloc/internal/exp"
+	"realloc/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "fig1":
+		out, _, _, err := exp.Figure1()
+		emit(out, err)
+	case "fig2":
+		out, err := exp.Figure2()
+		emit(out, err)
+	case "fig3":
+		out, err := exp.Figure3()
+		emit(out, err)
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		ops := fs.Int("ops", 400, "number of churn requests")
+		every := fs.Int("every", 40, "render the layout every N requests")
+		seed := fs.Uint64("seed", 7, "workload seed")
+		eps := fs.Float64("eps", 0.5, "footprint slack")
+		_ = fs.Parse(os.Args[2:])
+		if err := traceCmd(*ops, *every, *seed, *eps); err != nil {
+			fmt.Fprintln(os.Stderr, "reallocviz:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func emit(out string, err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reallocviz:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reallocviz fig1|fig2|fig3|trace [flags]")
+	os.Exit(2)
+}
+
+func traceCmd(ops, every int, seed uint64, eps float64) error {
+	r, err := core.New(core.Config{Epsilon: eps, Variant: core.Amortized})
+	if err != nil {
+		return err
+	}
+	churn := &workload.Churn{
+		Seed:         seed,
+		Sizes:        workload.Pareto{Min: 1, Max: 128, Alpha: 1.3},
+		TargetVolume: 2000,
+	}
+	for i := 1; i <= ops; i++ {
+		op, ok := churn.Next()
+		if !ok {
+			break
+		}
+		if op.Insert {
+			err = r.Insert(op.ID, op.Size)
+		} else {
+			err = r.Delete(op.ID)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+		if i%every == 0 {
+			fmt.Printf("after %4d requests: V=%d footprint=%d (%.3fx)\n",
+				i, r.Volume(), r.Footprint(), float64(r.Footprint())/float64(r.Volume()))
+			fmt.Print(exp.RenderLayout(r, 72))
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package realloc_test
+
+import (
+	"sync"
+	"testing"
+
+	"realloc"
+)
+
+// TestConcurrentAccess hammers a locked Reallocator from many goroutines.
+// Run with -race to verify the mutex actually covers every method.
+func TestConcurrentAccess(t *testing.T) {
+	r, err := realloc.New(
+		realloc.WithEpsilon(0.25),
+		realloc.WithVariant(realloc.Deamortized),
+		realloc.WithLocking(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := int64(w*perWorker + 1)
+			for i := int64(0); i < perWorker; i++ {
+				id := base + i
+				if err := r.Insert(id, 1+id%64); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					return
+				}
+				if i%3 == 2 {
+					if err := r.Delete(id - 1); err != nil {
+						t.Errorf("delete %d: %v", id-1, err)
+						return
+					}
+				}
+				// Interleave reads.
+				_, _ = r.Extent(id)
+				_ = r.Volume()
+				_ = r.Footprint()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := workers * perWorker * 2 / 3
+	if got := r.Len(); got < want-workers || got > want+workers {
+		t.Fatalf("len = %d, want about %d", got, want)
+	}
+}

@@ -1,0 +1,63 @@
+package realloc
+
+import (
+	"fmt"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/defrag"
+)
+
+// Block describes one object for Defragment: its identity, size, and
+// current offset in the volume being defragmented.
+type Block struct {
+	ID     int64
+	Size   int64
+	Offset int64
+}
+
+// DefragStats reports a Defragment run.
+type DefragStats struct {
+	Objects            int
+	Volume             int64
+	Delta              int64 // largest object
+	PeakFootprint      int64 // never exceeds (1+eps)·V + Delta
+	SpaceBudget        int64 // the theorem's (1+eps)·V + Delta budget
+	TotalMoves         int64
+	MaxMovesPerObject  int64
+	MeanMovesPerObject float64
+	// Layout is the final placement: blocks sorted by less, packed
+	// contiguously.
+	Layout []Block
+}
+
+// Defragment physically sorts the given blocks by less using at most
+// (1+eps)·V + ∆ working space and O((1/eps)·log(1/eps)) amortized moves
+// per block (Theorem 2.7). The blocks' offsets must be pairwise disjoint
+// and fit in (1+eps)·V; the returned layout packs them contiguously in
+// sorted order.
+func Defragment(blocks []Block, less func(a, b int64) bool, eps float64) (DefragStats, error) {
+	sp := addrspace.New(addrspace.RAM())
+	for _, b := range blocks {
+		if err := sp.Place(addrspace.ID(b.ID), addrspace.Extent{Start: b.Offset, Size: b.Size}); err != nil {
+			return DefragStats{}, fmt.Errorf("realloc: invalid input layout: %w", err)
+		}
+	}
+	st, err := defrag.Sort(sp, func(a, b addrspace.ID) bool { return less(int64(a), int64(b)) }, eps)
+	if err != nil {
+		return DefragStats{}, err
+	}
+	out := DefragStats{
+		Objects:            st.Objects,
+		Volume:             st.Volume,
+		Delta:              st.Delta,
+		PeakFootprint:      st.PeakFootprint,
+		SpaceBudget:        st.SpaceBudget,
+		TotalMoves:         st.TotalMoves,
+		MaxMovesPerObject:  st.MaxMovesPerObject,
+		MeanMovesPerObject: st.MeanMovesPerObject,
+	}
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		out.Layout = append(out.Layout, Block{ID: int64(id), Size: ext.Size, Offset: ext.Start})
+	})
+	return out, nil
+}

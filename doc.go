@@ -1,0 +1,39 @@
+// Package realloc is a cost-oblivious storage reallocator: an online
+// allocator that may move previously allocated blocks to keep the storage
+// footprint within (1+ε) of the live volume, while guaranteeing that the
+// total cost of those moves stays within O((1/ε)·log(1/ε)) of the cost of
+// allocating each block once — simultaneously for every monotonically
+// increasing, subadditive cost function f(w) (unit, linear, seek+bandwidth,
+// sqrt, ...). The algorithm never evaluates f: it is cost oblivious.
+//
+// It implements Bender, Farach-Colton, Fekete, Fineman, Gilbert:
+// "Cost-Oblivious Storage Reallocation", PODS 2014.
+//
+// # Quick start
+//
+//	r, _ := realloc.New(realloc.WithEpsilon(0.25))
+//	r.Insert(1, 4096)            // allocate block 1, 4096 cells
+//	r.Insert(2, 512)
+//	ext, _ := r.Extent(2)        // current physical placement
+//	r.Delete(1)                  // free; holes are reclaimed by moves
+//	fmt.Println(r.Footprint())   // largest allocated address <= (1+ε)·V
+//
+// # Variants
+//
+// Three variants trade generality for stronger operational guarantees:
+//
+//   - Amortized (default): the Section 2 algorithm; moves may overlap
+//     their own source (RAM semantics) and a single request may trigger a
+//     large flush.
+//   - Checkpointed: the database model of Section 3. Every move's target
+//     is disjoint from its source and from all live data, space freed
+//     since the last checkpoint is never rewritten, and each flush blocks
+//     on only O(1/ε) checkpoints.
+//   - Deamortized: additionally caps the work any single request performs
+//     at O((1/ε)·w·f(1) + f(∆)).
+//
+// The package also exposes the paper's corollaries: a crash-consistent
+// database block store built on a translation layer (BlockStore), a
+// defragmenter that sorts objects in (1+ε)V+∆ space (SortVolume), and a
+// dynamic uniprocessor schedule planner (Scheduler).
+package realloc

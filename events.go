@@ -1,0 +1,135 @@
+package realloc
+
+import "realloc/internal/trace"
+
+// EventKind enumerates observer event types.
+type EventKind uint8
+
+// Observer event kinds.
+const (
+	// EventInsert fires when an object receives its initial placement.
+	EventInsert EventKind = iota
+	// EventDelete fires when a delete request completes.
+	EventDelete
+	// EventMove fires when a live object is reallocated; update any
+	// logical-to-physical map on this event.
+	EventMove
+	// EventCheckpoint fires when the reallocator blocks on (and receives)
+	// a checkpoint; a database persists its translation map here.
+	EventCheckpoint
+	// EventFlushStart and EventFlushEnd bracket buffer flushes.
+	EventFlushStart
+	EventFlushEnd
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventInsert:
+		return "insert"
+	case EventDelete:
+		return "delete"
+	case EventMove:
+		return "move"
+	case EventCheckpoint:
+		return "checkpoint"
+	case EventFlushStart:
+		return "flush-start"
+	case EventFlushEnd:
+		return "flush-end"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observer notification.
+type Event struct {
+	Kind EventKind
+	// ID and Size identify the object for insert/delete/move events.
+	ID   int64
+	Size int64
+	// From and To are the old and new start addresses of a move; To is
+	// also the placement address of an insert.
+	From, To int64
+	// Footprint and Volume snapshot the structure after the event.
+	Footprint int64
+	Volume    int64
+}
+
+// observerAdapter converts internal trace events to the public type.
+type observerAdapter struct {
+	fn func(Event)
+}
+
+func (o observerAdapter) Record(e trace.Event) {
+	var k EventKind
+	switch e.Kind {
+	case trace.KInsert:
+		k = EventInsert
+	case trace.KDelete:
+		k = EventDelete
+	case trace.KMove:
+		k = EventMove
+	case trace.KCheckpoint:
+		k = EventCheckpoint
+	case trace.KFlushStart:
+		k = EventFlushStart
+	case trace.KFlushEnd:
+		k = EventFlushEnd
+	default:
+		return // internal bookkeeping events are not exposed
+	}
+	o.fn(Event{
+		Kind: k, ID: e.ID, Size: e.Size, From: e.From, To: e.To,
+		Footprint: e.Footprint, Volume: e.Volume,
+	})
+}
+
+// Stats summarizes a metrics-enabled run (see WithMetrics).
+type Stats struct {
+	Inserts, Deletes int64
+	Moves            int64
+	MovedVolume      int64
+	// MaxFootprintRatio is the largest footprint/volume observed at
+	// request boundaries with no flush in progress — the paper's
+	// (1+ε)-competitive quantity.
+	MaxFootprintRatio float64
+	// CostRatios maps cost-function name to reallocCost/allocCost — the
+	// paper's cost competitiveness, measured for every subadditive cost
+	// function simultaneously.
+	CostRatios map[string]float64
+	// MaxOpCost maps cost-function name to the worst single-request
+	// reallocation cost (the deamortized variant bounds it).
+	MaxOpCost map[string]float64
+	// Flushes and checkpoint accounting.
+	Flushes             int64
+	Checkpoints         int64
+	MaxCheckpointsFlush int64
+	MaxOpMovedVolume    int64
+}
+
+// Stats returns the accumulated metrics; it returns ok=false unless the
+// reallocator was built WithMetrics.
+func (r *Reallocator) Stats() (Stats, bool) {
+	if r.metrics == nil {
+		return Stats{}, false
+	}
+	m := r.metrics
+	s := Stats{
+		Inserts:             m.Inserts,
+		Deletes:             m.Deletes,
+		Moves:               m.MovesTotal,
+		MovedVolume:         m.MovedVolume,
+		MaxFootprintRatio:   m.MaxRatioQuiescent,
+		CostRatios:          map[string]float64{},
+		MaxOpCost:           map[string]float64{},
+		Flushes:             m.Flushes,
+		Checkpoints:         m.CheckpointsTotal,
+		MaxCheckpointsFlush: m.MaxCheckpointsFlush,
+		MaxOpMovedVolume:    m.MaxOpMovedVolume,
+	}
+	for _, l := range m.Meter.Lines() {
+		s.CostRatios[l.Func] = l.Ratio
+		s.MaxOpCost[l.Func] = l.MaxOpCost
+	}
+	return s, true
+}

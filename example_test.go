@@ -1,0 +1,108 @@
+package realloc_test
+
+import (
+	"fmt"
+	"sort"
+
+	"realloc"
+)
+
+// The basic insert/delete/extent lifecycle. The footprint (largest
+// allocated address) stays within (1+ε) of the live volume no matter how
+// the delete pattern fragments the space.
+func Example() {
+	r, _ := realloc.New(realloc.WithEpsilon(0.25))
+	for id := int64(1); id <= 100; id++ {
+		_ = r.Insert(id, 10)
+	}
+	for id := int64(1); id <= 100; id += 2 {
+		_ = r.Delete(id)
+	}
+	fmt.Println("live volume:", r.Volume())
+	fmt.Println("bound ok:", float64(r.Footprint()) <= 1.25*float64(r.Volume())+1)
+	// Output:
+	// live volume: 500
+	// bound ok: true
+}
+
+// Observers receive every placement decision — the hook a block
+// translation layer uses to keep logical-to-physical maps current.
+func ExampleWithObserver() {
+	table := map[int64]realloc.Extent{}
+	r, _ := realloc.New(
+		realloc.WithEpsilon(0.5),
+		realloc.WithVariant(realloc.Checkpointed),
+		realloc.WithObserver(func(e realloc.Event) {
+			switch e.Kind {
+			case realloc.EventInsert, realloc.EventMove:
+				table[e.ID] = realloc.Extent{Start: e.To, Size: e.Size}
+			case realloc.EventDelete:
+				delete(table, e.ID)
+			}
+		}),
+	)
+	_ = r.Insert(1, 64)
+	_ = r.Insert(2, 32)
+	_ = r.Delete(1)
+	ext, _ := r.Extent(2)
+	fmt.Println("table agrees:", table[2] == ext)
+	fmt.Println("entries:", len(table))
+	// Output:
+	// table agrees: true
+	// entries: 1
+}
+
+// Defragment physically sorts blocks by an arbitrary comparator using
+// only (1+ε)V + ∆ working space (Theorem 2.7).
+func ExampleDefragment() {
+	blocks := []realloc.Block{
+		{ID: 30, Size: 8, Offset: 0},
+		{ID: 10, Size: 4, Offset: 10},
+		{ID: 20, Size: 6, Offset: 16},
+	}
+	st, _ := realloc.Defragment(blocks, func(a, b int64) bool { return a < b }, 0.5)
+	ids := make([]int64, 0, len(st.Layout))
+	for _, b := range st.Layout {
+		ids = append(ids, b.ID)
+	}
+	fmt.Println("sorted:", sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }))
+	fmt.Println("within budget:", st.PeakFootprint <= st.SpaceBudget)
+	// Output:
+	// sorted: true
+	// within budget: true
+}
+
+// The scheduler keeps a uniprocessor plan whose makespan is within (1+ε)
+// of the total work while jobs come and go.
+func ExampleScheduler() {
+	s, _ := realloc.NewScheduler(0.25)
+	for id := int64(1); id <= 8; id++ {
+		_ = s.AddJob(id, 25)
+	}
+	_ = s.RemoveJob(3)
+	_ = s.RemoveJob(6)
+	fmt.Println("work:", s.TotalWork())
+	fmt.Println("bound ok:", float64(s.Makespan()) <= 1.25*float64(s.TotalWork())+1)
+	// Output:
+	// work: 150
+	// bound ok: true
+}
+
+// A crash-consistent block store: checkpoints persist the translation
+// map, and recovery always finds the mapped data intact because space
+// freed since the last checkpoint is never rewritten.
+func ExampleBlockStore() {
+	s, _ := realloc.NewBlockStore(realloc.BlockStoreEpsilon(0.25))
+	_ = s.Put("root", 128)
+	_ = s.Put("leaf-0", 64)
+	_ = s.Update("leaf-0", 96)
+	s.Checkpoint()
+	s.Crash()
+	n, err := s.Recover()
+	fmt.Println("recovered:", n, "err:", err)
+	ext, ok := s.Lookup("leaf-0")
+	fmt.Println("leaf-0 size:", ext.Size, "ok:", ok)
+	// Output:
+	// recovered: 2 err: <nil>
+	// leaf-0 size: 96 ok: true
+}

@@ -1,0 +1,64 @@
+// scheduler: the paper's scheduling interpretation, 1|f(w) realloc|Cmax.
+// An online planner keeps every job in a uniprocessor schedule whose
+// makespan stays within (1+ε) of the total work. Rescheduling a length-w
+// job costs f(w) for an unknown subadditive f — think re-provisioning a
+// batch job in a cluster calendar — and the planner is competitive for
+// every such f simultaneously.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"realloc"
+)
+
+func main() {
+	s, err := realloc.NewScheduler(0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 1))
+
+	// A day of batch jobs arrives.
+	fmt.Println("scheduling 12 batch jobs...")
+	var next int64 = 1
+	for ; next <= 12; next++ {
+		if err := s.AddJob(next, 10+rng.Int64N(90)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(s.Gantt(60))
+
+	// Cancellations and arrivals churn the plan; the makespan bound holds
+	// throughout.
+	fmt.Println("\nchurning: 300 cancellations + arrivals...")
+	live := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	worst := 0.0
+	for i := 0; i < 300; i++ {
+		if len(live) > 0 && rng.IntN(2) == 0 {
+			k := rng.IntN(len(live))
+			if err := s.RemoveJob(live[k]); err != nil {
+				log.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			if err := s.AddJob(next, 5+rng.Int64N(120)); err != nil {
+				log.Fatal(err)
+			}
+			live = append(live, next)
+			next++
+		}
+		if w := s.TotalWork(); w > 0 {
+			if r := float64(s.Makespan()) / float64(w); r > worst {
+				worst = r
+			}
+		}
+	}
+	fmt.Printf("worst makespan/work ratio over the churn: %.4f (bound %.2f)\n", worst, 1.25)
+
+	fmt.Println("\nfinal schedule:")
+	fmt.Print(s.Gantt(60))
+}

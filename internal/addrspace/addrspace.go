@@ -1,0 +1,435 @@
+// Package addrspace simulates the flat storage address space that a
+// reallocator manages: an arbitrarily large array of cells in which objects
+// occupy disjoint extents.
+//
+// The substrate enforces the physical rules the paper builds on:
+//
+//   - Objects never overlap one another.
+//   - In strict mode (databases, SSDs, FPGAs — Section 1), a moved object's
+//     new location must additionally be disjoint from its old location,
+//     because object writes are not atomic and the old copy must survive
+//     until the new one is complete.
+//   - Under the checkpoint rule (Section 3.1), space freed since the last
+//     checkpoint may not be rewritten: the durable logical-to-physical map
+//     still references it. A write into such space reports ErrWouldBlock and
+//     the caller must wait for (trigger and count) a checkpoint.
+//
+// With cell tracking enabled the substrate also simulates data placement:
+// each cell remembers which object's bytes it holds, including ghost copies
+// left behind by moves, which is what makes crash-recovery verification in
+// the btl package meaningful.
+package addrspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ID identifies an object. IDs are assigned by the caller and must be
+// non-zero (zero marks free cells in cell-tracking mode).
+type ID int64
+
+// Extent is a half-open interval [Start, Start+Size) of cells.
+type Extent struct {
+	Start int64
+	Size  int64
+}
+
+// End returns the first address past the extent.
+func (e Extent) End() int64 { return e.Start + e.Size }
+
+// Overlaps reports whether two extents intersect.
+func (e Extent) Overlaps(o Extent) bool {
+	return e.Start < o.End() && o.Start < e.End()
+}
+
+func (e Extent) String() string { return fmt.Sprintf("[%d,%d)", e.Start, e.End()) }
+
+// Errors reported by Space operations.
+var (
+	ErrOverlap       = errors.New("addrspace: extent overlaps a live object")
+	ErrSelfOverlap   = errors.New("addrspace: move target overlaps the object's current location (strict mode)")
+	ErrWouldBlock    = errors.New("addrspace: target intersects space freed since the last checkpoint")
+	ErrUnknownObject = errors.New("addrspace: unknown object")
+	ErrDuplicate     = errors.New("addrspace: object already placed")
+	ErrBadExtent     = errors.New("addrspace: extent must have Start >= 0 and Size >= 1")
+)
+
+// Options configures the physical rules a Space enforces.
+type Options struct {
+	// StrictNonOverlap forbids a move whose target intersects the object's
+	// own current extent. Off, moves have memmove semantics (allowed by
+	// Section 2; required off for in-RAM compaction by one cell).
+	StrictNonOverlap bool
+	// CheckpointRule forbids writing into space freed since the last
+	// checkpoint (Section 3.1). Such writes fail with ErrWouldBlock.
+	CheckpointRule bool
+	// TrackCells maintains a per-cell record of which object's data each
+	// cell holds, including stale copies left by moves. Needed only by
+	// data-integrity and crash-recovery tests; costs O(max address) memory.
+	TrackCells bool
+}
+
+// RAM returns the permissive configuration used by the Section 2
+// reallocator: moves may overlap their own source and freed space is
+// immediately reusable.
+func RAM() Options { return Options{} }
+
+// Durable returns the database configuration of Section 3: strict
+// nonoverlapping moves plus the checkpoint rule.
+func Durable() Options { return Options{StrictNonOverlap: true, CheckpointRule: true} }
+
+// placement pairs an object with its extent, kept sorted by Start.
+type placement struct {
+	id  ID
+	ext Extent
+}
+
+// Space is a simulated address space. The zero value is not usable; call
+// New.
+type Space struct {
+	opts Options
+
+	objects map[ID]Extent
+	byStart []placement // sorted by ext.Start; extents pairwise disjoint
+
+	freed intervalSet // space freed since last checkpoint (CheckpointRule)
+
+	cells []ID // cell-level data residue, if TrackCells
+
+	volume        int64 // total live volume
+	checkpoints   int64 // checkpoints taken
+	blockedWrites int64 // writes that observed ErrWouldBlock
+	moves         int64
+	places        int64
+}
+
+// New creates an empty Space with the given rules.
+func New(opts Options) *Space {
+	return &Space{opts: opts, objects: make(map[ID]Extent)}
+}
+
+// Options returns the rules this space enforces.
+func (s *Space) Options() Options { return s.opts }
+
+// Len returns the number of live objects.
+func (s *Space) Len() int { return len(s.objects) }
+
+// Volume returns the total size of live objects.
+func (s *Space) Volume() int64 { return s.volume }
+
+// MaxEnd returns the footprint: the smallest address such that no live
+// object occupies any cell at or beyond it. (Disjointness makes the
+// placement with the largest start also the one with the largest end.)
+func (s *Space) MaxEnd() int64 {
+	if len(s.byStart) == 0 {
+		return 0
+	}
+	return s.byStart[len(s.byStart)-1].ext.End()
+}
+
+// Checkpoints returns how many checkpoints have been taken.
+func (s *Space) Checkpoints() int64 { return s.checkpoints }
+
+// BlockedWrites returns how many writes found their target in
+// freed-since-checkpoint space.
+func (s *Space) BlockedWrites() int64 { return s.blockedWrites }
+
+// Moves returns the number of successful Move calls.
+func (s *Space) Moves() int64 { return s.moves }
+
+// Places returns the number of successful Place calls.
+func (s *Space) Places() int64 { return s.places }
+
+// Extent returns the current extent of id.
+func (s *Space) Extent(id ID) (Extent, bool) {
+	e, ok := s.objects[id]
+	return e, ok
+}
+
+// ForEach calls fn for every live object in address order.
+func (s *Space) ForEach(fn func(id ID, ext Extent)) {
+	for _, p := range s.byStart {
+		fn(p.id, p.ext)
+	}
+}
+
+// searchStart returns the index of the first placement with Start >= x.
+func (s *Space) searchStart(x int64) int {
+	return sort.Search(len(s.byStart), func(i int) bool { return s.byStart[i].ext.Start >= x })
+}
+
+// overlapAny reports whether ext overlaps any live object other than skip
+// (skip == 0 means none).
+func (s *Space) overlapAny(ext Extent, skip ID) (ID, bool) {
+	i := s.searchStart(ext.End())
+	// Any overlapping placement must start before ext.End(); because
+	// placements are disjoint, only the one immediately before index i can
+	// extend into ext... except for skip, whose exclusion can expose at
+	// most one more predecessor. Scan left while candidates can still reach
+	// into ext.
+	for j := i - 1; j >= 0; j-- {
+		p := s.byStart[j]
+		if p.ext.End() <= ext.Start && p.id != skip {
+			// Disjoint placements to the left of this one end even
+			// earlier, except skip itself which we may still need to step
+			// over; since p != skip and p is clear, everything before is
+			// clear too.
+			break
+		}
+		if p.id == skip {
+			continue
+		}
+		if p.ext.Overlaps(ext) {
+			return p.id, true
+		}
+	}
+	return 0, false
+}
+
+// checkTarget validates a prospective write of ext on behalf of id
+// (id == 0 for a fresh placement). selfExt is the object's current extent
+// when moving.
+func (s *Space) checkTarget(ext Extent, id ID, moving bool, selfExt Extent) error {
+	if ext.Start < 0 || ext.Size < 1 {
+		return fmt.Errorf("%w: %v", ErrBadExtent, ext)
+	}
+	if other, ok := s.overlapAny(ext, id); ok {
+		return fmt.Errorf("%w: %v hits object %d", ErrOverlap, ext, other)
+	}
+	if moving && s.opts.StrictNonOverlap && ext.Overlaps(selfExt) {
+		return fmt.Errorf("%w: %v vs %v", ErrSelfOverlap, ext, selfExt)
+	}
+	if s.opts.CheckpointRule {
+		// Space the object itself vacates in this very move is freed *by*
+		// the move, so only pre-existing freed space blocks. The freed set
+		// never contains live extents, so no need to exclude selfExt.
+		if s.freed.intersects(ext) {
+			s.blockedWrites++
+			return fmt.Errorf("%w: %v", ErrWouldBlock, ext)
+		}
+	}
+	return nil
+}
+
+// insertPlacement adds (id, ext) into the sorted slice.
+func (s *Space) insertPlacement(id ID, ext Extent) {
+	i := s.searchStart(ext.Start)
+	s.byStart = append(s.byStart, placement{})
+	copy(s.byStart[i+1:], s.byStart[i:])
+	s.byStart[i] = placement{id: id, ext: ext}
+}
+
+// removePlacement deletes the placement for id at extent ext.
+func (s *Space) removePlacement(id ID, ext Extent) {
+	i := s.searchStart(ext.Start)
+	for i < len(s.byStart) && s.byStart[i].id != id {
+		i++ // tolerate equal starts transiently (cannot happen, but be safe)
+	}
+	if i < len(s.byStart) {
+		copy(s.byStart[i:], s.byStart[i+1:])
+		s.byStart = s.byStart[:len(s.byStart)-1]
+	}
+}
+
+// relocatePlacement moves id from extent old to extent ext by rotating the
+// slice range between the two index positions — one copy of |i-j| entries
+// instead of remove+insert's two copies of everything to their right.
+// Moves dominate the flush hot path, so this matters.
+func (s *Space) relocatePlacement(id ID, old, ext Extent) {
+	i := s.searchStart(old.Start)
+	for i < len(s.byStart) && s.byStart[i].id != id {
+		i++
+	}
+	if i >= len(s.byStart) {
+		return // cannot happen for a verified object; be safe
+	}
+	if ext.Start > old.Start {
+		// Entries in (i, j) start before ext.Start; shift them one slot
+		// left and drop the moved entry at j-1. Distinct live objects
+		// never share a start, so the search is unambiguous.
+		j := s.searchStart(ext.Start)
+		copy(s.byStart[i:j-1], s.byStart[i+1:j])
+		s.byStart[j-1] = placement{id: id, ext: ext}
+		return
+	}
+	// Moving left: shift the entries in [j, i) one slot right.
+	j := s.searchStart(ext.Start)
+	copy(s.byStart[j+1:i+1], s.byStart[j:i])
+	s.byStart[j] = placement{id: id, ext: ext}
+}
+
+// stampCells writes id into every cell of ext (cell-tracking mode).
+func (s *Space) stampCells(ext Extent, id ID) {
+	if !s.opts.TrackCells {
+		return
+	}
+	if need := ext.End(); int64(len(s.cells)) < need {
+		grown := make([]ID, need+need/2)
+		copy(grown, s.cells)
+		s.cells = grown
+	}
+	for i := ext.Start; i < ext.End(); i++ {
+		s.cells[i] = id
+	}
+}
+
+// Place writes a new object at ext. It is the initial allocation; the
+// checkpoint rule applies to it exactly as to moves.
+func (s *Space) Place(id ID, ext Extent) error {
+	if id == 0 {
+		return fmt.Errorf("addrspace: id must be non-zero")
+	}
+	if _, dup := s.objects[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicate, id)
+	}
+	if err := s.checkTarget(ext, id, false, Extent{}); err != nil {
+		return err
+	}
+	s.objects[id] = ext
+	s.insertPlacement(id, ext)
+	s.stampCells(ext, id)
+	s.volume += ext.Size
+	s.places++
+	return nil
+}
+
+// Move relocates id so that it starts at newStart. The old extent becomes
+// freed-since-checkpoint space under the checkpoint rule; its cells keep
+// the object's data (a ghost copy) until something overwrites them.
+func (s *Space) Move(id ID, newStart int64) error {
+	old, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	if newStart == old.Start {
+		return nil
+	}
+	ext := Extent{Start: newStart, Size: old.Size}
+	if err := s.checkTarget(ext, id, true, old); err != nil {
+		return err
+	}
+	s.relocatePlacement(id, old, ext)
+	s.objects[id] = ext
+	s.stampCells(ext, id)
+	if s.opts.CheckpointRule {
+		// The part of the old extent not covered by the new one is freed.
+		// With strict nonoverlap that is all of it; with memmove semantics
+		// only the uncovered remainder is.
+		for _, piece := range subtract(old, ext) {
+			s.freed.add(piece)
+		}
+	}
+	s.moves++
+	return nil
+}
+
+// Remove frees the object's space. Under the checkpoint rule the extent
+// joins the freed-since-checkpoint set; its cells keep the ghost data.
+func (s *Space) Remove(id ID) error {
+	old, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	delete(s.objects, id)
+	s.removePlacement(id, old)
+	s.volume -= old.Size
+	if s.opts.CheckpointRule {
+		s.freed.add(old)
+	}
+	return nil
+}
+
+// WouldBlock reports whether writing ext would hit freed-since-checkpoint
+// space (without counting it as a blocked write).
+func (s *Space) WouldBlock(ext Extent) bool {
+	return s.opts.CheckpointRule && s.freed.intersects(ext)
+}
+
+// Checkpoint makes all freed space reusable again, modeling the system
+// writing the translation map durably (Section 3.1).
+func (s *Space) Checkpoint() {
+	s.freed = s.freed[:0]
+	s.checkpoints++
+}
+
+// FreedVolume returns the volume of space freed since the last checkpoint.
+func (s *Space) FreedVolume() int64 { return s.freed.volume() }
+
+// CellOwner returns which object's data cell addr currently holds (ghost
+// copies included), or 0 for never-written cells. Requires TrackCells.
+func (s *Space) CellOwner(addr int64) ID {
+	if addr < 0 || addr >= int64(len(s.cells)) {
+		return 0
+	}
+	return s.cells[addr]
+}
+
+// HoldsData reports whether every cell of ext holds id's data (live or
+// ghost). Requires TrackCells.
+func (s *Space) HoldsData(id ID, ext Extent) bool {
+	if !s.opts.TrackCells {
+		return false
+	}
+	if ext.End() > int64(len(s.cells)) {
+		return false
+	}
+	for i := ext.Start; i < ext.End(); i++ {
+		if s.cells[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify exhaustively re-checks structural invariants: sortedness,
+// pairwise disjointness, map/slice agreement, and volume accounting. Tests
+// call it after mutating sequences.
+func (s *Space) Verify() error {
+	if len(s.byStart) != len(s.objects) {
+		return fmt.Errorf("addrspace: index has %d entries, map has %d", len(s.byStart), len(s.objects))
+	}
+	var vol int64
+	for i, p := range s.byStart {
+		if p.ext.Size < 1 || p.ext.Start < 0 {
+			return fmt.Errorf("addrspace: object %d has bad extent %v", p.id, p.ext)
+		}
+		if got := s.objects[p.id]; got != p.ext {
+			return fmt.Errorf("addrspace: object %d extent mismatch: map %v index %v", p.id, got, p.ext)
+		}
+		if i > 0 {
+			prev := s.byStart[i-1]
+			if prev.ext.End() > p.ext.Start {
+				return fmt.Errorf("addrspace: objects %d %v and %d %v overlap", prev.id, prev.ext, p.id, p.ext)
+			}
+		}
+		vol += p.ext.Size
+	}
+	if vol != s.volume {
+		return fmt.Errorf("addrspace: volume accounting: tracked %d, actual %d", s.volume, vol)
+	}
+	if s.opts.TrackCells {
+		for _, p := range s.byStart {
+			if !s.HoldsData(p.id, p.ext) {
+				return fmt.Errorf("addrspace: object %d data missing at %v", p.id, p.ext)
+			}
+		}
+	}
+	return s.freed.verify()
+}
+
+// subtract returns the parts of a not covered by b (0, 1, or 2 pieces).
+func subtract(a, b Extent) []Extent {
+	if !a.Overlaps(b) {
+		return []Extent{a}
+	}
+	var out []Extent
+	if a.Start < b.Start {
+		out = append(out, Extent{Start: a.Start, Size: b.Start - a.Start})
+	}
+	if a.End() > b.End() {
+		out = append(out, Extent{Start: b.End(), Size: a.End() - b.End()})
+	}
+	return out
+}

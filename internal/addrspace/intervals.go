@@ -1,0 +1,74 @@
+package addrspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// intervalSet is a sorted list of disjoint, non-adjacent extents. It tracks
+// the space freed since the last checkpoint.
+type intervalSet []Extent
+
+// add inserts ext, merging with neighbors. Overlapping adds are tolerated
+// (the same cell can be freed, checkpoint-skipped, and freed again only via
+// distinct objects, but merging keeps the set canonical regardless).
+func (s *intervalSet) add(ext Extent) {
+	if ext.Size <= 0 {
+		return
+	}
+	set := *s
+	// First interval whose end reaches ext.Start (possible merge partner).
+	lo := sort.Search(len(set), func(i int) bool { return set[i].End() >= ext.Start })
+	// First interval starting strictly after ext.End() (beyond any merge).
+	hi := sort.Search(len(set), func(i int) bool { return set[i].Start > ext.End() })
+	if lo == hi {
+		// No neighbors to merge: insert at lo.
+		set = append(set, Extent{})
+		copy(set[lo+1:], set[lo:])
+		set[lo] = ext
+		*s = set
+		return
+	}
+	merged := ext
+	if set[lo].Start < merged.Start {
+		merged.Size += merged.Start - set[lo].Start
+		merged.Start = set[lo].Start
+	}
+	if e := set[hi-1].End(); e > merged.End() {
+		merged.Size += e - merged.End()
+	}
+	set[lo] = merged
+	set = append(set[:lo+1], set[hi:]...)
+	*s = set
+}
+
+// intersects reports whether ext overlaps any interval in the set.
+func (s intervalSet) intersects(ext Extent) bool {
+	if ext.Size <= 0 {
+		return false
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].End() > ext.Start })
+	return i < len(s) && s[i].Start < ext.End()
+}
+
+// volume returns the total size of the set.
+func (s intervalSet) volume() int64 {
+	var v int64
+	for _, e := range s {
+		v += e.Size
+	}
+	return v
+}
+
+// verify checks canonical form: sorted, disjoint, non-empty intervals.
+func (s intervalSet) verify() error {
+	for i, e := range s {
+		if e.Size <= 0 {
+			return fmt.Errorf("addrspace: freed set has empty interval %v", e)
+		}
+		if i > 0 && s[i-1].End() > e.Start {
+			return fmt.Errorf("addrspace: freed set intervals %v and %v out of order/overlapping", s[i-1], e)
+		}
+	}
+	return nil
+}

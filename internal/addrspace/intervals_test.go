@@ -1,0 +1,105 @@
+package addrspace
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetAddMerge(t *testing.T) {
+	var s intervalSet
+	s.add(Extent{10, 5})
+	s.add(Extent{20, 5})
+	if len(s) != 2 {
+		t.Fatalf("want 2 intervals, got %v", s)
+	}
+	s.add(Extent{15, 5}) // bridges the gap
+	if len(s) != 1 || s[0] != (Extent{10, 15}) {
+		t.Fatalf("merge failed: %v", s)
+	}
+	s.add(Extent{5, 5}) // adjacent on the left
+	if len(s) != 1 || s[0] != (Extent{5, 20}) {
+		t.Fatalf("left merge failed: %v", s)
+	}
+	s.add(Extent{0, 2})
+	if len(s) != 2 {
+		t.Fatalf("non-adjacent add: %v", s)
+	}
+	s.add(Extent{0, 100}) // swallows everything
+	if len(s) != 1 || s[0] != (Extent{0, 100}) {
+		t.Fatalf("swallow failed: %v", s)
+	}
+	s.add(Extent{50, 0}) // empty adds are ignored
+	if len(s) != 1 {
+		t.Fatalf("empty add changed the set: %v", s)
+	}
+	if err := s.verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetIntersects(t *testing.T) {
+	var s intervalSet
+	s.add(Extent{10, 5})
+	s.add(Extent{30, 5})
+	cases := []struct {
+		e    Extent
+		want bool
+	}{
+		{Extent{0, 10}, false},  // touches the first interval's start
+		{Extent{0, 11}, true},   // one cell in
+		{Extent{14, 1}, true},   // last cell of first interval
+		{Extent{15, 15}, false}, // exactly the gap
+		{Extent{20, 11}, true},  // reaches the second interval
+		{Extent{35, 5}, false},  // after everything
+		{Extent{12, 0}, false},  // empty never intersects
+	}
+	for _, c := range cases {
+		if got := s.intersects(c.e); got != c.want {
+			t.Errorf("intersects(%v) = %v, want %v (set %v)", c.e, got, c.want, s)
+		}
+	}
+}
+
+// TestIntervalSetQuick compares the merged set against a brute-force cell
+// set under random adds.
+func TestIntervalSetQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		var s intervalSet
+		cells := map[int64]bool{}
+		for i := 0; i < 120; i++ {
+			ext := Extent{Start: rng.Int64N(300), Size: 1 + rng.Int64N(30)}
+			s.add(ext)
+			for c := ext.Start; c < ext.End(); c++ {
+				cells[c] = true
+			}
+			if err := s.verify(); err != nil {
+				t.Log(err)
+				return false
+			}
+			// Volume agreement.
+			if s.volume() != int64(len(cells)) {
+				t.Logf("volume %d != %d", s.volume(), len(cells))
+				return false
+			}
+			// Random intersection probes.
+			probe := Extent{Start: rng.Int64N(350), Size: 1 + rng.Int64N(20)}
+			want := false
+			for c := probe.Start; c < probe.End(); c++ {
+				if cells[c] {
+					want = true
+					break
+				}
+			}
+			if got := s.intersects(probe); got != want {
+				t.Logf("intersects(%v) = %v, want %v", probe, got, want)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package baseline implements the comparator allocators the paper argues
+// against:
+//
+//   - No-move allocators (First Fit, Best Fit, Next Fit, Buddy), which
+//     suffer the classic Ω(log)-factor footprint blowup because they can
+//     never consolidate holes (Section 1, Luby et al. / Robson bounds).
+//   - LogCompact, the logging-and-compacting reallocator: (2,2)-competitive
+//     under linear cost but Θ(∆)-amortized under unit cost (Section 2
+//     intuition).
+//   - ClassGap, a reconstruction of the size-class/gap reallocator of
+//     Bender et al. 2009 sketched in Section 2: O(1) amortized moves under
+//     unit cost but Θ(log ∆)-competitive under linear cost.
+//
+// All baselines drive the same address-space substrate and emit the same
+// trace events as the core reallocators, so one metrics pipeline prices
+// every contender identically.
+package baseline
+
+import (
+	"fmt"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// Allocator is the common surface of every baseline. It matches
+// workload.Target.
+type Allocator interface {
+	Insert(id addrspace.ID, size int64) error
+	Delete(id addrspace.ID) error
+	Footprint() int64
+	Volume() int64
+	Name() string
+}
+
+// base carries the plumbing shared by all baselines.
+type base struct {
+	space *addrspace.Space
+	rec   trace.Recorder
+	vol   int64
+}
+
+func newBase(rec trace.Recorder) base {
+	if rec == nil {
+		rec = trace.Null{}
+	}
+	return base{space: addrspace.New(addrspace.RAM()), rec: rec}
+}
+
+// Footprint returns the largest allocated address.
+func (b *base) Footprint() int64 { return b.space.MaxEnd() }
+
+// Volume returns the total live volume.
+func (b *base) Volume() int64 { return b.vol }
+
+// Space exposes the substrate for tests.
+func (b *base) Space() *addrspace.Space { return b.space }
+
+func (b *base) emit(kind trace.Kind, id addrspace.ID, size, from, to int64) {
+	b.rec.Record(trace.Event{
+		Kind: kind, ID: int64(id), Size: size, From: from, To: to,
+		Footprint: b.space.MaxEnd(), Volume: b.vol,
+	})
+}
+
+func (b *base) emitOpEnd() {
+	b.rec.Record(trace.Event{
+		Kind: trace.KOpEnd, From: b.space.MaxEnd(),
+		Footprint: b.space.MaxEnd(), Volume: b.vol,
+	})
+}
+
+// place writes an object and emits the allocation event.
+func (b *base) place(id addrspace.ID, ext addrspace.Extent) error {
+	if err := b.space.Place(id, ext); err != nil {
+		return err
+	}
+	b.vol += ext.Size
+	b.emit(trace.KInsert, id, ext.Size, 0, ext.Start)
+	return nil
+}
+
+// move relocates an object and emits the reallocation event.
+func (b *base) move(id addrspace.ID, to int64) error {
+	ext, ok := b.space.Extent(id)
+	if !ok {
+		return fmt.Errorf("baseline: move of unknown object %d", id)
+	}
+	if ext.Start == to {
+		return nil
+	}
+	if err := b.space.Move(id, to); err != nil {
+		return err
+	}
+	b.emit(trace.KMove, id, ext.Size, ext.Start, to)
+	return nil
+}
+
+// remove frees an object and emits the delete event.
+func (b *base) remove(id addrspace.ID) (addrspace.Extent, error) {
+	ext, ok := b.space.Extent(id)
+	if !ok {
+		return ext, fmt.Errorf("baseline: delete of unknown object %d", id)
+	}
+	if err := b.space.Remove(id); err != nil {
+		return ext, err
+	}
+	b.vol -= ext.Size
+	b.emit(trace.KDelete, id, ext.Size, 0, 0)
+	return ext, nil
+}

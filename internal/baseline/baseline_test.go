@@ -1,0 +1,341 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+// allAllocators builds one of each baseline.
+func allAllocators(rec trace.Recorder) []Allocator {
+	return []Allocator{
+		NewFirstFit(rec),
+		NewBestFit(rec),
+		NewNextFit(rec),
+		NewBuddy(rec),
+		NewLogCompact(rec),
+		NewClassGap(rec),
+	}
+}
+
+// TestChurnCorrectness drives every baseline through churn, verifying the
+// substrate invariants (disjoint extents, consistent volume) throughout.
+func TestChurnCorrectness(t *testing.T) {
+	for _, a := range allAllocators(nil) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			churn := &workload.Churn{Seed: 11, Sizes: workload.Uniform{Min: 1, Max: 64}, TargetVolume: 3000}
+			for i := 0; i < 3000; i++ {
+				op, _ := churn.Next()
+				var err error
+				if op.Insert {
+					err = a.Insert(op.ID, op.Size)
+				} else {
+					err = a.Delete(op.ID)
+				}
+				if err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				if i%97 == 0 {
+					if err := spaceOf(a).Verify(); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+				}
+			}
+			if got, want := a.Volume(), churn.LiveVolume(); got != want {
+				t.Fatalf("volume %d != generator %d", got, want)
+			}
+			if a.Footprint() < a.Volume() {
+				t.Fatalf("footprint %d below volume %d", a.Footprint(), a.Volume())
+			}
+		})
+	}
+}
+
+// spaceOf digs out the substrate for verification.
+func spaceOf(a Allocator) *addrspace.Space {
+	switch v := a.(type) {
+	case *FreeListAllocator:
+		return v.Space()
+	case *Buddy:
+		return v.Space()
+	case *LogCompact:
+		return v.Space()
+	case *ClassGap:
+		return v.Space()
+	}
+	panic("unknown allocator")
+}
+
+func TestErrorsOnBadOps(t *testing.T) {
+	for _, a := range allAllocators(nil) {
+		if err := a.Delete(42); err == nil {
+			t.Errorf("%s accepted delete of unknown object", a.Name())
+		}
+		if err := a.Insert(1, 8); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if err := a.Insert(1, 8); err == nil {
+			t.Errorf("%s accepted duplicate insert", a.Name())
+		}
+	}
+}
+
+func TestFirstFitReusesHoles(t *testing.T) {
+	a := NewFirstFit(nil)
+	for i := int64(1); i <= 5; i++ {
+		if err := a.Insert(addrspace.ID(i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Delete(2); err != nil { // hole at [10,20)
+		t.Fatal(err)
+	}
+	if err := a.Insert(6, 10); err != nil {
+		t.Fatal(err)
+	}
+	ext, _ := a.Space().Extent(6)
+	if ext.Start != 10 {
+		t.Fatalf("first fit placed at %d, want the hole at 10", ext.Start)
+	}
+	// A too-large request skips the (now absent) hole and extends.
+	if err := a.Insert(7, 11); err != nil {
+		t.Fatal(err)
+	}
+	if ext, _ := a.Space().Extent(7); ext.Start != 50 {
+		t.Fatalf("oversized insert placed at %d, want 50", ext.Start)
+	}
+}
+
+func TestBestFitPicksTightest(t *testing.T) {
+	a := NewBestFit(nil)
+	// Build holes of size 10 and 6.
+	ids := []struct {
+		id   addrspace.ID
+		size int64
+	}{{1, 10}, {2, 5}, {3, 6}, {4, 5}}
+	for _, x := range ids {
+		if err := a.Insert(x.id, x.size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = a.Delete(1) // hole [0,10)
+	_ = a.Delete(3) // hole [15,21)
+	if err := a.Insert(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	ext, _ := a.Space().Extent(5)
+	if ext.Start != 15 {
+		t.Fatalf("best fit chose %d, want the size-6 hole at 15", ext.Start)
+	}
+}
+
+func TestFreeListMergingAndTrim(t *testing.T) {
+	a := NewFirstFit(nil)
+	for i := int64(1); i <= 4; i++ {
+		_ = a.Insert(addrspace.ID(i), 10)
+	}
+	_ = a.Delete(2)
+	_ = a.Delete(3) // adjacent holes merge: [10,30)
+	if a.FreeVolume() != 20 {
+		t.Fatalf("free volume = %d", a.FreeVolume())
+	}
+	if err := a.Insert(5, 20); err != nil {
+		t.Fatal(err)
+	}
+	if ext, _ := a.Space().Extent(5); ext.Start != 10 {
+		t.Fatalf("merged hole not reused: placed at %d", ext.Start)
+	}
+	// Trailing deletes retreat the bump pointer.
+	_ = a.Delete(4)
+	if a.Footprint() != 30 {
+		t.Fatalf("footprint after trailing delete = %d", a.Footprint())
+	}
+	if err := a.Insert(6, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ext, _ := a.Space().Extent(6); ext.Start != 30 {
+		t.Fatalf("bump pointer did not retreat: %d", ext.Start)
+	}
+}
+
+func TestBuddyAlignmentAndCoalescing(t *testing.T) {
+	b := NewBuddy(nil)
+	ids := []addrspace.ID{1, 2, 3, 4}
+	for _, id := range ids {
+		if err := b.Insert(id, 3); err != nil { // rounds to 4
+			t.Fatal(err)
+		}
+		ext, _ := b.Space().Extent(id)
+		if ext.Start%4 != 0 {
+			t.Fatalf("block %d misaligned at %d", id, ext.Start)
+		}
+	}
+	if b.Arena() < 16 {
+		t.Fatalf("arena = %d", b.Arena())
+	}
+	for _, id := range ids {
+		if err := b.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything freed: full coalescing back to one arena-order block.
+	top := 0
+	for k := 0; int64(1)<<uint(k) <= b.Arena(); k++ {
+		if n := b.FreeBlocks(k); n > 0 {
+			if int64(1)<<uint(k) != b.Arena() {
+				t.Fatalf("expected one arena-sized free block, found order-%d blocks", k)
+			}
+			top += n
+		}
+	}
+	if top != 1 {
+		t.Fatalf("free arena blocks = %d", top)
+	}
+}
+
+func TestBuddyRounding(t *testing.T) {
+	if orderFor(1) != 0 || orderFor(2) != 1 || orderFor(3) != 2 || orderFor(4) != 2 || orderFor(5) != 3 {
+		t.Fatal("orderFor wrong")
+	}
+}
+
+func TestLogCompactCompacts(t *testing.T) {
+	m := trace.NewMetrics()
+	a := NewLogCompact(m)
+	// Interior holes: insert small objects, delete the middle ones.
+	for i := int64(1); i <= 10; i++ {
+		_ = a.Insert(addrspace.ID(i), 10)
+	}
+	for i := int64(2); i <= 9; i++ {
+		_ = a.Delete(addrspace.ID(i))
+	}
+	// footprint 100 vs V=20: compaction must have fired.
+	if a.Compactions() == 0 {
+		t.Fatal("no compaction despite 5x slack")
+	}
+	if a.Footprint() > 2*a.Volume() {
+		t.Fatalf("footprint %d > 2V=%d after compaction", a.Footprint(), 2*a.Volume())
+	}
+	// Packed: objects contiguous from 0.
+	var pos int64
+	a.Space().ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		if ext.Start != pos {
+			t.Fatalf("object %d at %d, want %d (not packed)", id, ext.Start, pos)
+		}
+		pos = ext.End()
+	})
+}
+
+func TestClassGapInvariants(t *testing.T) {
+	a := NewClassGap(nil)
+	rng := rand.New(rand.NewPCG(5, 6))
+	live := []addrspace.ID{}
+	next := addrspace.ID(1)
+	for op := 0; op < 4000; op++ {
+		if len(live) == 0 || rng.IntN(5) < 3 {
+			size := int64(1 + rng.Int64N(100))
+			if err := a.Insert(next, size); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			live = append(live, next)
+			next++
+		} else {
+			i := rng.IntN(len(live))
+			if err := a.Delete(live[i]); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%101 == 0 {
+			if err := a.Space().Verify(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if err := checkClassOrder(a); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	// Footprint bound: padded volume at most 2V, blocks at most 2x padded.
+	if f := a.Footprint(); f > 4*a.Volume()+64 {
+		t.Fatalf("footprint %d too large for V=%d", f, a.Volume())
+	}
+}
+
+// checkClassOrder verifies objects appear in ascending padded-class order
+// by address.
+func checkClassOrder(a *ClassGap) error {
+	lastClass := -1
+	var err error
+	a.Space().ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		c := a.meta[id].class
+		if c < lastClass {
+			err = errClassOrder
+		}
+		lastClass = c
+	})
+	return err
+}
+
+var errClassOrder = &classOrderErr{}
+
+type classOrderErr struct{}
+
+func (*classOrderErr) Error() string { return "classgap: class order violated" }
+
+// TestClassGapDisplacementChain forces the recursive displacement and
+// verifies its unit-cost geometric behavior.
+func TestClassGapDisplacementChain(t *testing.T) {
+	m := trace.NewMetrics()
+	a := NewClassGap(m)
+	// One object per class 1..6, then many size-1 inserts.
+	for c := 1; c <= 6; c++ {
+		if err := a.Insert(addrspace.ID(c), int64(1)<<uint(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(100); i < 400; i++ {
+		if err := a.Insert(addrspace.ID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Space().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Amortized unit cost per insert must be O(1): geometric series.
+	ratio := m.Meter.Ratio("unit")
+	if ratio > 3 {
+		t.Fatalf("classgap unit ratio %v should be O(1)", ratio)
+	}
+}
+
+// TestBaselinesQuick cross-validates every baseline against random
+// workloads with substrate verification.
+func TestBaselinesQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		for _, a := range allAllocators(nil) {
+			churn := &workload.Churn{Seed: seed, Sizes: workload.Pareto{Min: 1, Max: 128, Alpha: 1.3}, TargetVolume: 800}
+			if _, err := workload.Drive(a, churn, 400); err != nil {
+				t.Logf("%s: %v", a.Name(), err)
+				return false
+			}
+			if err := spaceOf(a).Verify(); err != nil {
+				t.Logf("%s: %v", a.Name(), err)
+				return false
+			}
+			if a.Volume() != churn.LiveVolume() {
+				t.Logf("%s: volume mismatch", a.Name())
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

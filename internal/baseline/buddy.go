@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// Buddy is a classic binary buddy allocator (Knowlton 1965): sizes round
+// up to powers of two; blocks split recursively and coalesce with their
+// buddies on free. It never moves objects. Internal fragmentation (up to
+// 2x from rounding) plus external holes give it the familiar footprint
+// overhead that reallocation eliminates.
+type Buddy struct {
+	base
+	arena int64           // current arena size (power of two)
+	free  map[int][]int64 // order -> sorted starts of free blocks
+	order map[addrspace.ID]int
+}
+
+// NewBuddy returns an empty buddy allocator.
+func NewBuddy(rec trace.Recorder) *Buddy {
+	return &Buddy{
+		base:  newBase(rec),
+		free:  make(map[int][]int64),
+		order: make(map[addrspace.ID]int),
+	}
+}
+
+// Name implements Allocator.
+func (b *Buddy) Name() string { return "buddy" }
+
+// orderFor returns the buddy order for a size: the smallest k with
+// 2^k >= size.
+func orderFor(size int64) int {
+	if size <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(size - 1))
+}
+
+// Insert places the object in the lowest-address free block of its order,
+// growing the arena when necessary.
+func (b *Buddy) Insert(id addrspace.ID, size int64) error {
+	k := orderFor(size)
+	start, ok := b.alloc(k)
+	for !ok {
+		b.grow(k)
+		start, ok = b.alloc(k)
+	}
+	if err := b.place(id, addrspace.Extent{Start: start, Size: size}); err != nil {
+		return err
+	}
+	b.order[id] = k
+	b.emitOpEnd()
+	return nil
+}
+
+// Delete frees the object's block and coalesces buddies.
+func (b *Buddy) Delete(id addrspace.ID) error {
+	k, ok := b.order[id]
+	if !ok {
+		return fmt.Errorf("buddy: delete of unknown object %d", id)
+	}
+	ext, err := b.remove(id)
+	if err != nil {
+		return err
+	}
+	delete(b.order, id)
+	b.insertFree(k, ext.Start)
+	b.emitOpEnd()
+	return nil
+}
+
+// alloc takes the lowest-address free block of order k, splitting larger
+// blocks as needed.
+func (b *Buddy) alloc(k int) (int64, bool) {
+	for j := k; ; j++ {
+		if int64(1)<<uint(j) > b.arena {
+			return 0, false
+		}
+		blocks := b.free[j]
+		if len(blocks) == 0 {
+			continue
+		}
+		start := blocks[0]
+		b.free[j] = blocks[1:]
+		// Split back down to order k, freeing the upper halves.
+		for j > k {
+			j--
+			b.insertFree(j, start+int64(1)<<uint(j))
+		}
+		return start, true
+	}
+}
+
+// grow doubles the arena until a block of order k can exist, freeing the
+// newly added upper halves.
+func (b *Buddy) grow(k int) {
+	if b.arena == 0 {
+		b.arena = int64(1) << uint(k)
+		b.insertFree(k, 0)
+		return
+	}
+	// Doubling the arena adds a free block equal to the old arena size.
+	oldOrder := bits.Len64(uint64(b.arena)) - 1
+	b.insertFree(oldOrder, b.arena)
+	b.arena *= 2
+	if int64(1)<<uint(k) > b.arena {
+		b.grow(k)
+	}
+}
+
+// insertFree adds a free block, coalescing with its buddy recursively.
+func (b *Buddy) insertFree(k int, start int64) {
+	size := int64(1) << uint(k)
+	buddy := start ^ size
+	blocks := b.free[k]
+	i := sort.Search(len(blocks), func(i int) bool { return blocks[i] >= buddy })
+	if i < len(blocks) && blocks[i] == buddy && int64(1)<<uint(k+1) <= b.arena {
+		b.free[k] = append(blocks[:i], blocks[i+1:]...)
+		if buddy < start {
+			start = buddy
+		}
+		b.insertFree(k+1, start)
+		return
+	}
+	i = sort.Search(len(blocks), func(i int) bool { return blocks[i] >= start })
+	blocks = append(blocks, 0)
+	copy(blocks[i+1:], blocks[i:])
+	blocks[i] = start
+	b.free[k] = blocks
+}
+
+// FreeBlocks returns the number of free blocks of order k (tests).
+func (b *Buddy) FreeBlocks(k int) int { return len(b.free[k]) }
+
+// Arena returns the current arena size (tests).
+func (b *Buddy) Arena() int64 { return b.arena }

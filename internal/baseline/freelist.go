@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"sort"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// fitPolicy selects a gap from a free list.
+type fitPolicy int
+
+const (
+	firstFit fitPolicy = iota
+	bestFit
+	nextFit
+)
+
+// FreeListAllocator is a classic no-move allocator over a sorted free
+// list. It never relocates objects, so deallocation holes can only be
+// reused by later requests that happen to fit — the regime in which the
+// memory-allocation lower bounds bite.
+type FreeListAllocator struct {
+	base
+	policy fitPolicy
+	name   string
+	free   []addrspace.Extent // sorted by Start, disjoint, non-adjacent
+	end    int64              // bump pointer past the last placement
+	rover  int64              // next-fit scan position
+}
+
+// NewFirstFit returns a first-fit allocator.
+func NewFirstFit(rec trace.Recorder) *FreeListAllocator {
+	return &FreeListAllocator{base: newBase(rec), policy: firstFit, name: "firstfit"}
+}
+
+// NewBestFit returns a best-fit allocator.
+func NewBestFit(rec trace.Recorder) *FreeListAllocator {
+	return &FreeListAllocator{base: newBase(rec), policy: bestFit, name: "bestfit"}
+}
+
+// NewNextFit returns a next-fit (roving first-fit) allocator.
+func NewNextFit(rec trace.Recorder) *FreeListAllocator {
+	return &FreeListAllocator{base: newBase(rec), policy: nextFit, name: "nextfit"}
+}
+
+// Name implements Allocator.
+func (a *FreeListAllocator) Name() string { return a.name }
+
+// Insert places the object in the chosen gap, or at the end when no gap
+// fits.
+func (a *FreeListAllocator) Insert(id addrspace.ID, size int64) error {
+	pos, ok := a.take(size)
+	if !ok {
+		pos = a.end
+	}
+	if err := a.place(id, addrspace.Extent{Start: pos, Size: size}); err != nil {
+		return err
+	}
+	if pos+size > a.end {
+		a.end = pos + size
+	}
+	a.emitOpEnd()
+	return nil
+}
+
+// Delete frees the object's extent back to the free list.
+func (a *FreeListAllocator) Delete(id addrspace.ID) error {
+	ext, err := a.remove(id)
+	if err != nil {
+		return err
+	}
+	a.release(ext)
+	a.emitOpEnd()
+	return nil
+}
+
+// take finds and claims a gap of at least size cells per the policy.
+func (a *FreeListAllocator) take(size int64) (int64, bool) {
+	pick := -1
+	switch a.policy {
+	case firstFit:
+		for i, g := range a.free {
+			if g.Size >= size {
+				pick = i
+				break
+			}
+		}
+	case bestFit:
+		var bestSz int64 = 1<<62 - 1
+		for i, g := range a.free {
+			if g.Size >= size && g.Size < bestSz {
+				bestSz = g.Size
+				pick = i
+			}
+		}
+	case nextFit:
+		for i, g := range a.free {
+			if g.Start >= a.rover && g.Size >= size {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			for i, g := range a.free {
+				if g.Size >= size {
+					pick = i
+					break
+				}
+			}
+		}
+	}
+	if pick < 0 {
+		return 0, false
+	}
+	g := a.free[pick]
+	pos := g.Start
+	if g.Size == size {
+		a.free = append(a.free[:pick], a.free[pick+1:]...)
+	} else {
+		a.free[pick] = addrspace.Extent{Start: g.Start + size, Size: g.Size - size}
+	}
+	a.rover = pos + size
+	return pos, true
+}
+
+// release returns ext to the free list, merging neighbors. Free space at
+// the very end is trimmed and the bump pointer retreats, so the footprint
+// can shrink when the last objects disappear.
+func (a *FreeListAllocator) release(ext addrspace.Extent) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].Start >= ext.Start })
+	a.free = append(a.free, addrspace.Extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = ext
+	// Merge with predecessor and successor.
+	if i > 0 && a.free[i-1].End() == a.free[i].Start {
+		a.free[i-1].Size += a.free[i].Size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+		i--
+	}
+	if i+1 < len(a.free) && a.free[i].End() == a.free[i+1].Start {
+		a.free[i].Size += a.free[i+1].Size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Trim a trailing gap.
+	if n := len(a.free); n > 0 && a.free[n-1].End() >= a.end {
+		a.end = a.free[n-1].Start
+		a.free = a.free[:n-1]
+	}
+	if a.rover > a.end {
+		a.rover = 0
+	}
+}
+
+// FreeVolume returns the total size of reusable gaps (tests).
+func (a *FreeListAllocator) FreeVolume() int64 {
+	var v int64
+	for _, g := range a.free {
+		v += g.Size
+	}
+	return v
+}

@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// LogCompact is the logging-and-compacting reallocator from the paper's
+// Section 2 intuition: allocate left to right, leave holes on delete, and
+// compact everything whenever the footprint reaches Threshold times the
+// live volume. With Threshold = 2 it is (2,2)-competitive for the linear
+// cost function — and Θ(∆)-amortized per delete under unit cost, which is
+// exactly the failure mode cost-oblivious reallocation removes.
+type LogCompact struct {
+	base
+	// Threshold is the footprint/volume compaction trigger; 0 means 2.
+	Threshold float64
+	end       int64
+	compacts  int64
+}
+
+// NewLogCompact returns a logging-and-compacting allocator.
+func NewLogCompact(rec trace.Recorder) *LogCompact {
+	return &LogCompact{base: newBase(rec), Threshold: 2}
+}
+
+// Name implements Allocator.
+func (l *LogCompact) Name() string { return "logcompact" }
+
+// Compactions returns how many full compactions have run.
+func (l *LogCompact) Compactions() int64 { return l.compacts }
+
+// Insert appends at the log head.
+func (l *LogCompact) Insert(id addrspace.ID, size int64) error {
+	if err := l.place(id, addrspace.Extent{Start: l.end, Size: size}); err != nil {
+		return err
+	}
+	l.end += size
+	if err := l.maybeCompact(); err != nil {
+		return err
+	}
+	l.emitOpEnd()
+	return nil
+}
+
+// Delete leaves a hole; a compaction reclaims it when the footprint
+// reaches Threshold times the live volume.
+func (l *LogCompact) Delete(id addrspace.ID) error {
+	ext, err := l.remove(id)
+	if err != nil {
+		return err
+	}
+	if ext.End() == l.end {
+		l.end = l.lastEnd()
+	}
+	if err := l.maybeCompact(); err != nil {
+		return err
+	}
+	l.emitOpEnd()
+	return nil
+}
+
+// lastEnd recomputes the bump pointer after a trailing delete.
+func (l *LogCompact) lastEnd() int64 { return l.space.MaxEnd() }
+
+// maybeCompact packs every live object leftward when the trigger fires.
+func (l *LogCompact) maybeCompact() error {
+	thr := l.Threshold
+	if thr == 0 {
+		thr = 2
+	}
+	if l.vol == 0 || float64(l.end) < thr*float64(l.vol) {
+		return nil
+	}
+	l.compacts++
+	type placed struct {
+		id  addrspace.ID
+		ext addrspace.Extent
+	}
+	var objs []placed
+	l.space.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		objs = append(objs, placed{id, ext})
+	})
+	pos := int64(0)
+	for _, o := range objs {
+		if err := l.move(o.id, pos); err != nil {
+			return err
+		}
+		pos += o.ext.Size
+	}
+	l.end = pos
+	return nil
+}

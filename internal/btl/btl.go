@@ -1,0 +1,289 @@
+// Package btl implements the block translation layer of a write-optimized
+// database (the TokuDB-style setting of Sections 1 and 3.1): logical block
+// names map to physical extents managed by a checkpointed cost-oblivious
+// reallocator.
+//
+// The layer demonstrates why the checkpoint rule exists. Moving a block
+// updates the in-memory translation map, but the durable copy of the map
+// is only written at checkpoints; until then the block's data must survive
+// at its old address too. The substrate enforces exactly that (space freed
+// since the last checkpoint cannot be rewritten), so recovering from a
+// crash with the last durable map always finds intact data.
+package btl
+
+import (
+	"errors"
+	"fmt"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// Errors reported by the store.
+var (
+	ErrExists   = errors.New("btl: block already exists")
+	ErrNotFound = errors.New("btl: no such block")
+	ErrCrashed  = errors.New("btl: store is crashed; call Recover")
+)
+
+// Store is a crash-consistent block store.
+type Store struct {
+	realloc *core.Reallocator
+	variant core.Variant
+	tap     trace.Recorder // caller's recorder, preserved across recoveries
+
+	byName map[string]addrspace.ID
+	names  map[addrspace.ID]string
+	nextID addrspace.ID
+
+	// durable is the translation map as of the last checkpoint: what a
+	// recovery would read back from disk.
+	durable map[string]blockMeta
+
+	crashed bool
+
+	// Counters.
+	checkpoints int64
+	recoveries  int64
+}
+
+// blockMeta is one durable map entry.
+type blockMeta struct {
+	id  addrspace.ID
+	ext addrspace.Extent
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Epsilon is the reallocator's footprint slack (default 0.25).
+	Epsilon float64
+	// Deamortized selects the Section 3.3 reallocator so block writes
+	// never block on long flushes; default is the Section 3.2 one.
+	Deamortized bool
+	// Recorder taps the reallocator's event stream (may be nil).
+	Recorder trace.Recorder
+}
+
+// ckptHook snapshots the durable map whenever the reallocator blocks on a
+// checkpoint, mirroring the database writing its translation table.
+type ckptHook struct {
+	store *Store
+	next  trace.Recorder
+}
+
+func (h *ckptHook) Record(e trace.Event) {
+	if e.Kind == trace.KCheckpoint {
+		h.store.snapshot()
+	}
+	if h.next != nil {
+		h.next.Record(e)
+	}
+}
+
+// New creates an empty store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.25
+	}
+	s := &Store{
+		byName:  make(map[string]addrspace.ID),
+		names:   make(map[addrspace.ID]string),
+		durable: make(map[string]blockMeta),
+		nextID:  1,
+	}
+	variant := core.Checkpointed
+	if cfg.Deamortized {
+		variant = core.Deamortized
+	}
+	s.variant = variant
+	s.tap = cfg.Recorder
+	r, err := core.New(core.Config{
+		Epsilon:    cfg.Epsilon,
+		Variant:    variant,
+		Recorder:   &ckptHook{store: s, next: cfg.Recorder},
+		TrackCells: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.realloc = r
+	return s, nil
+}
+
+// Reallocator exposes the underlying reallocator (tests, metrics).
+func (s *Store) Reallocator() *core.Reallocator { return s.realloc }
+
+// Len returns the number of live blocks.
+func (s *Store) Len() int { return len(s.byName) }
+
+// Footprint returns the largest allocated disk address.
+func (s *Store) Footprint() int64 { return s.realloc.Footprint() }
+
+// Volume returns the total live block volume.
+func (s *Store) Volume() int64 { return s.realloc.Volume() }
+
+// Checkpoints returns how many checkpoints have been taken (both
+// reallocator-forced and explicit).
+func (s *Store) Checkpoints() int64 { return s.checkpoints }
+
+// Put creates block name with the given size.
+func (s *Store) Put(name string, size int64) error {
+	if s.crashed {
+		return ErrCrashed
+	}
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	id := s.nextID
+	s.nextID++
+	if err := s.realloc.Insert(id, size); err != nil {
+		return err
+	}
+	s.byName[name] = id
+	s.names[id] = name
+	return nil
+}
+
+// Update rewrites block name at a new size, as a database does when a
+// node changes after compression. The new copy is written and mapped
+// before the old one is freed, so a checkpoint forced at any instant
+// during the update still snapshots a live copy of the block.
+func (s *Store) Update(name string, size int64) error {
+	if s.crashed {
+		return ErrCrashed
+	}
+	id, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	nid := s.nextID
+	s.nextID++
+	if err := s.realloc.Insert(nid, size); err != nil {
+		return err
+	}
+	s.byName[name] = nid
+	s.names[nid] = name
+	delete(s.names, id)
+	if err := s.realloc.Delete(id); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Drop deletes block name.
+func (s *Store) Drop(name string) error {
+	if s.crashed {
+		return ErrCrashed
+	}
+	id, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := s.realloc.Delete(id); err != nil {
+		return err
+	}
+	delete(s.byName, name)
+	delete(s.names, id)
+	return nil
+}
+
+// Lookup translates a block name to its current physical extent.
+func (s *Store) Lookup(name string) (addrspace.Extent, bool) {
+	if s.crashed {
+		return addrspace.Extent{}, false
+	}
+	id, ok := s.byName[name]
+	if !ok {
+		return addrspace.Extent{}, false
+	}
+	return s.realloc.Extent(id)
+}
+
+// Checkpoint writes the translation map durably and makes all freed space
+// reusable (the system-initiated checkpoint of Section 3.1).
+func (s *Store) Checkpoint() {
+	if s.crashed {
+		return
+	}
+	s.realloc.Space().Checkpoint()
+	s.snapshot()
+}
+
+// snapshot captures the durable translation map at a checkpoint instant.
+func (s *Store) snapshot() {
+	s.checkpoints++
+	durable := make(map[string]blockMeta, len(s.byName))
+	for name, id := range s.byName {
+		if ext, ok := s.realloc.Extent(id); ok {
+			durable[name] = blockMeta{id: id, ext: ext}
+		}
+	}
+	s.durable = durable
+}
+
+// Crash simulates a failure: the in-memory translation map disappears;
+// only the durable map and the raw cells survive.
+func (s *Store) Crash() {
+	s.crashed = true
+	s.byName = nil
+	s.names = nil
+}
+
+// RecoveryReport describes the outcome of Recover.
+type RecoveryReport struct {
+	Recovered int
+	// Corrupt lists durable blocks whose data was overwritten — always
+	// empty while the checkpoint rule holds; any entry is a durability
+	// bug.
+	Corrupt []string
+}
+
+// Recover rebuilds the store from the durable map after a crash. It
+// verifies every durable block's data is intact at its mapped extent
+// (possible precisely because space freed since that checkpoint was never
+// rewritten), then reloads the blocks into a fresh reallocator.
+func (s *Store) Recover() (RecoveryReport, error) {
+	if !s.crashed {
+		return RecoveryReport{}, errors.New("btl: Recover without crash")
+	}
+	var rep RecoveryReport
+	old := s.realloc.Space()
+	for name, meta := range s.durable {
+		if !old.HoldsData(meta.id, meta.ext) {
+			rep.Corrupt = append(rep.Corrupt, name)
+		}
+	}
+	if len(rep.Corrupt) > 0 {
+		return rep, fmt.Errorf("btl: %d blocks corrupted after crash", len(rep.Corrupt))
+	}
+	// Reload the surviving blocks into a fresh reallocator (the database
+	// rewrites them as it warms up).
+	fresh, err := core.New(core.Config{
+		Epsilon:    s.realloc.Epsilon(),
+		Variant:    s.variant,
+		Recorder:   &ckptHook{store: s, next: s.tap},
+		TrackCells: true,
+	})
+	if err != nil {
+		return rep, err
+	}
+	s.byName = make(map[string]addrspace.ID, len(s.durable))
+	s.names = make(map[addrspace.ID]string, len(s.durable))
+	for name, meta := range s.durable {
+		if err := fresh.Insert(meta.id, meta.ext.Size); err != nil {
+			return rep, err
+		}
+		s.byName[name] = meta.id
+		s.names[meta.id] = name
+		rep.Recovered++
+		if meta.id >= s.nextID {
+			s.nextID = meta.id + 1
+		}
+	}
+	s.realloc = fresh
+	s.crashed = false
+	s.recoveries++
+	s.snapshot()
+	return rep, nil
+}

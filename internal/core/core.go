@@ -1,0 +1,430 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// ID identifies an object; it is the caller's handle (the paper's "name").
+type ID = addrspace.ID
+
+// Variant selects which of the paper's algorithms the reallocator runs.
+type Variant int
+
+const (
+	// Amortized is the Section 2 algorithm: atomic flushes, memmove-style
+	// moves, no checkpoint model.
+	Amortized Variant = iota
+	// Checkpointed is the Section 3.2 algorithm: strictly nonoverlapping
+	// moves under the checkpoint rule, O(1/ε) checkpoints per flush.
+	Checkpointed
+	// Deamortized is the Section 3.3 algorithm: Checkpointed plus a tail
+	// buffer and an update log that spread each flush across subsequent
+	// requests, capping per-request reallocation at (4/ε')·w + ∆ volume.
+	Deamortized
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Amortized:
+		return "amortized"
+	case Checkpointed:
+		return "checkpointed"
+	case Deamortized:
+		return "deamortized"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Reallocator.
+type Config struct {
+	// Epsilon is the footprint slack target: the structure occupies at
+	// most (1+Epsilon)·V space after every completed request. Must be in
+	// (0, 1]. The paper states results for (0, 1/2].
+	Epsilon float64
+	// EpsPrime overrides the internal buffer fraction ε'. Zero picks
+	// Epsilon/4 (Amortized, Checkpointed) or Epsilon/6 (Deamortized, whose
+	// tail buffer consumes a second ε' of slack), which keeps the
+	// steady-state structure within (1+Epsilon)·V for all Epsilon <= 1.
+	EpsPrime float64
+	// Variant selects the algorithm; the zero value is Amortized.
+	Variant Variant
+	// Recorder receives the event stream; nil means trace.Null.
+	Recorder trace.Recorder
+	// TrackCells enables per-cell data stamps in the substrate (needed by
+	// data-integrity and crash-recovery tests).
+	TrackCells bool
+	// Paranoid re-validates every structural invariant after each request
+	// and makes violations return errors. Tests set it; benchmarks don't.
+	Paranoid bool
+}
+
+// Errors returned by Reallocator operations.
+var (
+	ErrBadSize   = errors.New("core: object size must be >= 1")
+	ErrBadID     = errors.New("core: object id must be non-zero")
+	ErrDuplicate = errors.New("core: object already exists")
+	ErrNotFound  = errors.New("core: no such object")
+	ErrEpsilon   = errors.New("core: epsilon must be in (0, 1]")
+)
+
+// placeKind says where an object currently lives in the structure.
+type placeKind uint8
+
+const (
+	inLimbo    placeKind = iota // created but not yet physically placed
+	inPayload                   // a payload segment
+	inBuffer                    // a size-class buffer segment (or the tail buffer)
+	inOverflow                  // parked in the overflow segment mid-flush
+	inLog                       // inserted during an active flush, not yet drained
+)
+
+// object is the engine's record of a live object. Its physical position
+// lives in the address space.
+type object struct {
+	id    ID
+	size  int64
+	class int
+	place placeKind
+	// For place == inBuffer: which buffer (bufClass, tailBuffer for the
+	// tail) and the index of its item entry, so a delete can convert the
+	// entry to a dummy in place.
+	bufClass int
+	bufIdx   int
+	// For place == inLog: index of the log entry, so a delete during the
+	// same flush can annihilate the pair.
+	logIdx int
+	// deletePending marks objects whose delete request is sitting in the
+	// log (the object stays active until the drain applies it).
+	deletePending bool
+}
+
+// tailBuffer is the sentinel bufClass for objects parked in the tail
+// buffer of the deamortized variant.
+const tailBuffer = -2
+
+// bufItem is one entry of a buffer segment: a buffered object (id != 0) or
+// a dummy delete record (id == 0). Both consume size cells of the buffer's
+// capacity; dummy cells are never written.
+type bufItem struct {
+	id    ID
+	size  int64
+	class int
+}
+
+// region is one size class's area: a payload segment then a buffer
+// segment.
+type region struct {
+	class    int
+	payStart int64
+	paySize  int64 // class volume at this region's last flush (or creation)
+	payLive  int64 // live volume currently in the payload (paySize - holes)
+	bufSize  int64 // buffer capacity
+	bufFill  int64 // consumed buffer capacity (objects + dummies)
+	items    []bufItem
+}
+
+func (r *region) bufStart() int64 { return r.payStart + r.paySize }
+func (r *region) end() int64      { return r.payStart + r.paySize + r.bufSize }
+
+// tail is the deamortized variant's tail buffer: a class-unrestricted
+// buffer following all regions.
+type tail struct {
+	start int64
+	cap   int64
+	fill  int64
+	items []bufItem
+}
+
+func (t *tail) end() int64 { return t.start + t.cap }
+
+// Reallocator is the engine implementing all three variants.
+type Reallocator struct {
+	cfg Config
+	eps float64 // ε'
+
+	space *addrspace.Space
+	rec   trace.Recorder
+
+	objs       map[ID]*object
+	objByClass map[int]map[ID]*object
+	regions    []*region // ascending class order
+	tailBuf    *tail     // Deamortized only
+
+	vol        int64 // total live volume V
+	volByClass map[int]int64
+	delta      int64 // largest object size ever inserted (the paper's ∆)
+
+	flushes int64
+
+	// Deamortized state: the plan of an in-progress flush and the update
+	// log absorbing requests that arrive while it runs.
+	plan *flushPlan
+	log  updateLog
+	// dirty marks rare placements outside the canonical contiguous layout
+	// (tail overflow, new max class mid-flush); cleared by the next flush.
+	dirty bool
+}
+
+// New creates a Reallocator. It validates Config and chooses the substrate
+// rules the variant requires.
+func New(cfg Config) (*Reallocator, error) {
+	if cfg.Epsilon <= 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrEpsilon, cfg.Epsilon)
+	}
+	eps := cfg.EpsPrime
+	if eps == 0 {
+		if cfg.Variant == Deamortized {
+			eps = cfg.Epsilon / 6
+		} else {
+			eps = cfg.Epsilon / 4
+		}
+	}
+	if eps <= 0 || eps > 0.5 {
+		return nil, fmt.Errorf("%w: eps' %v out of (0, 0.5]", ErrEpsilon, eps)
+	}
+	var opts addrspace.Options
+	if cfg.Variant == Amortized {
+		opts = addrspace.RAM()
+	} else {
+		opts = addrspace.Durable()
+	}
+	opts.TrackCells = cfg.TrackCells
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = trace.Null{}
+	}
+	r := &Reallocator{
+		cfg:        cfg,
+		eps:        eps,
+		space:      addrspace.New(opts),
+		rec:        rec,
+		objs:       make(map[ID]*object),
+		objByClass: make(map[int]map[ID]*object),
+		volByClass: make(map[int]int64),
+	}
+	if cfg.Variant == Deamortized {
+		r.tailBuf = &tail{}
+	}
+	return r, nil
+}
+
+// MustNew is New for tests and examples with known-good configs.
+func MustNew(cfg Config) *Reallocator {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Volume returns the total size of live objects (deleted objects stop
+// counting when their delete request completes; deletes logged during an
+// active flush complete at drain time).
+func (r *Reallocator) Volume() int64 { return r.vol }
+
+// Footprint returns the largest allocated address: the quantity the
+// paper's competitive ratio bounds.
+func (r *Reallocator) Footprint() int64 { return r.space.MaxEnd() }
+
+// StructSize returns the end of the bookkeeping structure: the last
+// region's (or tail buffer's) end, counting holes and empty buffer space.
+// This is the conservative quantity Lemma 2.5 bounds. Mid-flush it also
+// covers the working space actually in use.
+func (r *Reallocator) StructSize() int64 {
+	end := int64(0)
+	if n := len(r.regions); n > 0 {
+		end = r.regions[n-1].end()
+	}
+	if r.tailBuf != nil && r.tailBuf.end() > end {
+		end = r.tailBuf.end()
+	}
+	if m := r.space.MaxEnd(); m > end {
+		end = m
+	}
+	return end
+}
+
+// Delta returns the largest object size seen so far (the paper's ∆).
+func (r *Reallocator) Delta() int64 { return r.delta }
+
+// Len returns the number of live objects.
+func (r *Reallocator) Len() int { return len(r.objs) }
+
+// Flushes returns how many buffer flushes have been triggered.
+func (r *Reallocator) Flushes() int64 { return r.flushes }
+
+// FlushActive reports whether a deamortized flush is in progress.
+func (r *Reallocator) FlushActive() bool { return r.plan != nil }
+
+// Epsilon returns the configured footprint slack target.
+func (r *Reallocator) Epsilon() float64 { return r.cfg.Epsilon }
+
+// EpsPrime returns the internal buffer fraction ε'.
+func (r *Reallocator) EpsPrime() float64 { return r.eps }
+
+// Space exposes the substrate for integration (BTL) and tests.
+func (r *Reallocator) Space() *addrspace.Space { return r.space }
+
+// Extent returns the current physical extent of id. Objects are always
+// physically placed, including mid-flush and while sitting in the log.
+func (r *Reallocator) Extent(id ID) (addrspace.Extent, bool) {
+	return r.space.Extent(id)
+}
+
+// Has reports whether id is live (a logged, not-yet-drained delete still
+// counts as live, matching the paper's definition of active).
+func (r *Reallocator) Has(id ID) bool {
+	o, ok := r.objs[id]
+	return ok && !o.deletePending
+}
+
+// SizeOf returns the size of object id.
+func (r *Reallocator) SizeOf(id ID) (int64, bool) {
+	o, ok := r.objs[id]
+	if !ok {
+		return 0, false
+	}
+	return o.size, true
+}
+
+// ForEach visits every live object in address order.
+func (r *Reallocator) ForEach(fn func(id ID, ext addrspace.Extent)) {
+	r.space.ForEach(fn)
+}
+
+// Drain completes any in-progress deamortized flush. Other variants are
+// always drained.
+func (r *Reallocator) Drain() error {
+	for r.plan != nil {
+		if err := r.advance(math.MaxInt64 / 4); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workQuota is the flush work (by volume) a size-w request must perform in
+// the deamortized variant: just over (4/ε')·w.
+func (r *Reallocator) workQuota(w int64) int64 {
+	q := math.Ceil(4 / r.eps * float64(w))
+	if q > math.MaxInt64/4 {
+		return math.MaxInt64 / 4
+	}
+	return int64(q)
+}
+
+// emit sends an event to the recorder, filling in footprint and volume.
+func (r *Reallocator) emit(kind trace.Kind, id ID, size, from, to int64) {
+	r.rec.Record(trace.Event{
+		Kind: kind, ID: int64(id), Size: size, From: from, To: to,
+		Footprint: r.space.MaxEnd(), Volume: r.vol,
+	})
+}
+
+// emitOpEnd closes a request.
+func (r *Reallocator) emitOpEnd() {
+	structSize := int64(0)
+	if r.plan == nil && !r.dirty {
+		structSize = r.StructSize()
+	}
+	r.rec.Record(trace.Event{
+		Kind: trace.KOpEnd, From: structSize,
+		Footprint: r.space.MaxEnd(), Volume: r.vol,
+	})
+}
+
+// classObjects returns the per-class object set, creating it on demand.
+func (r *Reallocator) classObjects(c int) map[ID]*object {
+	m := r.objByClass[c]
+	if m == nil {
+		m = make(map[ID]*object)
+		r.objByClass[c] = m
+	}
+	return m
+}
+
+// maxRegionClass returns the largest class with a region, or -1.
+func (r *Reallocator) maxRegionClass() int {
+	if len(r.regions) == 0 {
+		return -1
+	}
+	return r.regions[len(r.regions)-1].class
+}
+
+// regionIndex returns the index of class c's region.
+func (r *Reallocator) regionIndex(c int) (int, bool) {
+	lo, hi := 0, len(r.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.regions[mid].class < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.regions) && r.regions[lo].class == c {
+		return lo, true
+	}
+	return lo, false
+}
+
+// bufCap returns ⌊ε'·v⌋, the buffer capacity for payload volume v.
+func (r *Reallocator) bufCap(v int64) int64 {
+	return int64(r.eps * float64(v))
+}
+
+// moveCkpt relocates an object, transparently blocking on (triggering and
+// counting) checkpoints when the target intersects freed-since-checkpoint
+// space. A move to the current position is a no-op; the boolean reports
+// whether the object actually moved.
+func (r *Reallocator) moveCkpt(id ID, to int64) (bool, error) {
+	old, ok := r.space.Extent(id)
+	if !ok {
+		return false, fmt.Errorf("%w: move of %d", ErrNotFound, id)
+	}
+	if old.Start == to {
+		return false, nil
+	}
+	for {
+		err := r.space.Move(id, to)
+		if err == nil {
+			r.emit(trace.KMove, id, old.Size, old.Start, to)
+			return true, nil
+		}
+		if errors.Is(err, addrspace.ErrWouldBlock) {
+			r.space.Checkpoint()
+			r.emit(trace.KCheckpoint, 0, 0, 0, 0)
+			continue
+		}
+		return false, err
+	}
+}
+
+// moveObj is moveCkpt for an object record.
+func (r *Reallocator) moveObj(o *object, to int64) (bool, error) {
+	return r.moveCkpt(o.id, to)
+}
+
+// placeCkpt writes a new object, blocking on checkpoints like moveCkpt.
+// It emits the KInsert event (initial allocation).
+func (r *Reallocator) placeCkpt(id ID, ext addrspace.Extent) error {
+	for {
+		err := r.space.Place(id, ext)
+		if err == nil {
+			r.emit(trace.KInsert, id, ext.Size, 0, ext.Start)
+			return nil
+		}
+		if errors.Is(err, addrspace.ErrWouldBlock) {
+			r.space.Checkpoint()
+			r.emit(trace.KCheckpoint, 0, 0, 0, 0)
+			continue
+		}
+		return err
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"realloc/internal/trace"
+)
+
+// variants lists all three algorithms for table-driven tests.
+var variants = []Variant{Amortized, Checkpointed, Deamortized}
+
+// newTest builds a paranoid reallocator with full tracing.
+func newTest(t *testing.T, v Variant, eps float64) (*Reallocator, *trace.Metrics) {
+	t.Helper()
+	m := trace.NewMetrics()
+	r, err := New(Config{Epsilon: eps, Variant: v, Recorder: m, Paranoid: true, TrackCells: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r, m
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		w int64
+		c int
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(tc.w); got != tc.c {
+			t.Errorf("ClassOf(%d) = %d, want %d", tc.w, got, tc.c)
+		}
+	}
+	if ClassOf(0) != -1 || ClassOf(-5) != -1 {
+		t.Error("ClassOf of non-positive sizes should be -1")
+	}
+	for c := 0; c < 40; c++ {
+		if ClassOf(ClassMin(c)) != c || ClassOf(ClassMax(c)) != c {
+			t.Errorf("class %d boundaries misclassified", c)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1.5} {
+		if _, err := New(Config{Epsilon: eps}); err == nil {
+			t.Errorf("New accepted epsilon %v", eps)
+		}
+	}
+	if _, err := New(Config{Epsilon: 0.5}); err != nil {
+		t.Errorf("New rejected epsilon 0.5: %v", err)
+	}
+	if _, err := New(Config{Epsilon: 0.5, EpsPrime: 0.9}); err == nil {
+		t.Error("New accepted eps' > 0.5")
+	}
+}
+
+func TestInsertDeleteBasics(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.String(), func(t *testing.T) {
+			r, _ := newTest(t, v, 0.5)
+			if err := r.Insert(1, 10); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			if err := r.Insert(1, 10); err == nil {
+				t.Fatal("duplicate insert accepted")
+			}
+			if err := r.Insert(2, 0); err == nil {
+				t.Fatal("zero-size insert accepted")
+			}
+			if err := r.Insert(0, 5); err == nil {
+				t.Fatal("zero id accepted")
+			}
+			if got := r.Volume(); got != 10 {
+				t.Fatalf("volume = %d, want 10", got)
+			}
+			if !r.Has(1) {
+				t.Fatal("Has(1) = false")
+			}
+			if sz, ok := r.SizeOf(1); !ok || sz != 10 {
+				t.Fatalf("SizeOf(1) = %d,%v", sz, ok)
+			}
+			if err := r.Delete(1); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			if err := r.Delete(1); err == nil {
+				t.Fatal("double delete accepted")
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if got := r.Volume(); got != 0 {
+				t.Fatalf("volume after delete = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestFootprintNeverExceedsBound(t *testing.T) {
+	for _, v := range variants {
+		for _, eps := range []float64{0.5, 0.25, 0.1} {
+			t.Run(fmt.Sprintf("%v/eps=%v", v, eps), func(t *testing.T) {
+				r, m := newTest(t, v, eps)
+				m.RatioBase = 1 + eps
+				rng := rand.New(rand.NewPCG(42, uint64(eps*1000)))
+				live := []ID{}
+				next := ID(1)
+				for op := 0; op < 3000; op++ {
+					if len(live) == 0 || rng.Float64() < 0.55 {
+						size := int64(1 + rng.IntN(200))
+						if err := r.Insert(next, size); err != nil {
+							t.Fatalf("op %d insert: %v", op, err)
+						}
+						live = append(live, next)
+						next++
+					} else {
+						i := rng.IntN(len(live))
+						if err := r.Delete(live[i]); err != nil {
+							t.Fatalf("op %d delete: %v", op, err)
+						}
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+				}
+				if err := r.Drain(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				if err := r.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				// The steady-state structure bound is checked after every
+				// op by Paranoid; confirm the end-to-end competitive ratio
+				// the paper promises.
+				if m.MaxStructRatio > 1+eps+0.02 {
+					t.Errorf("max structure/volume ratio %.4f exceeds 1+eps=%.2f", m.MaxStructRatio, 1+eps)
+				}
+				if m.MaxRatioQuiescent > 1+eps+0.02 {
+					t.Errorf("max quiescent footprint/volume ratio %.4f exceeds 1+eps=%.2f", m.MaxRatioQuiescent, 1+eps)
+				}
+				if v == Amortized || v == Checkpointed {
+					// Flushes complete within the triggering request, so
+					// every op end is quiescent.
+					if m.MaxRatioSteady > 1+eps+0.02 {
+						t.Errorf("max footprint/volume ratio %.4f exceeds 1+eps=%.2f", m.MaxRatioSteady, 1+eps)
+					}
+				} else {
+					// Mid-flush op ends may carry the working space: the
+					// additive slack beyond (1+eps)V must stay O(Delta)
+					// (Lemma 3.5; our schedule's constant is <= 3 plus
+					// log volume).
+					if m.MaxAdditiveSlack > 4*r.Delta() {
+						t.Errorf("additive slack %d exceeds 4*Delta=%d", m.MaxAdditiveSlack, 4*r.Delta())
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestDataIntegrityUnderChurn(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.String(), func(t *testing.T) {
+			r, _ := newTest(t, v, 0.25)
+			rng := rand.New(rand.NewPCG(7, 9))
+			live := map[ID]int64{}
+			next := ID(1)
+			for op := 0; op < 2000; op++ {
+				if len(live) == 0 || rng.Float64() < 0.6 {
+					size := int64(1 + rng.IntN(64))
+					if err := r.Insert(next, size); err != nil {
+						t.Fatalf("insert: %v", err)
+					}
+					live[next] = size
+					next++
+				} else {
+					for id := range live {
+						if err := r.Delete(id); err != nil {
+							t.Fatalf("delete: %v", err)
+						}
+						delete(live, id)
+						break
+					}
+				}
+				// Every live object must hold its own data at its extent.
+				for id, size := range live {
+					ext, ok := r.Extent(id)
+					if !ok {
+						t.Fatalf("op %d: object %d lost its extent", op, id)
+					}
+					if ext.Size != size {
+						t.Fatalf("op %d: object %d size %d, want %d", op, id, ext.Size, size)
+					}
+					if !r.Space().HoldsData(id, ext) {
+						t.Fatalf("op %d: object %d data corrupted at %v", op, id, ext)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDeltaTracksLargest(t *testing.T) {
+	r, _ := newTest(t, Amortized, 0.5)
+	sizes := []int64{3, 100, 7, 100, 2}
+	for i, s := range sizes {
+		if err := r.Insert(ID(i+1), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Delta() != 100 {
+		t.Fatalf("Delta = %d, want 100", r.Delta())
+	}
+}
+
+func TestNewLargestClassCreatesRegion(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.String(), func(t *testing.T) {
+			r, m := newTest(t, v, 0.5)
+			// Strictly growing sizes: every insert opens a new class and
+			// must not trigger any flush or reallocation.
+			for i := 0; i < 20; i++ {
+				if err := r.Insert(ID(i+1), int64(1)<<uint(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.MovesTotal != 0 {
+				t.Errorf("new-class inserts caused %d moves, want 0", m.MovesTotal)
+			}
+			if r.Flushes() != 0 {
+				t.Errorf("new-class inserts caused %d flushes, want 0", r.Flushes())
+			}
+		})
+	}
+}
+
+func TestEmptyAfterAllDeleted(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.String(), func(t *testing.T) {
+			r, _ := newTest(t, v, 0.5)
+			for i := 1; i <= 50; i++ {
+				if err := r.Insert(ID(i), int64(i%7+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 1; i <= 50; i++ {
+				if err := r.Delete(ID(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if r.Volume() != 0 || r.Len() != 0 {
+				t.Fatalf("volume=%d len=%d after deleting everything", r.Volume(), r.Len())
+			}
+			// The structure may retain dead regions until a flush reclaims
+			// them, but a fresh insert cycle must still work.
+			for i := 51; i <= 60; i++ {
+				if err := r.Insert(ID(i), 5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r.Volume() != 50 {
+				t.Fatalf("volume=%d after reinserts", r.Volume())
+			}
+		})
+	}
+}
+
+func TestSequentialFill(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.String(), func(t *testing.T) {
+			r, _ := newTest(t, v, 0.25)
+			for i := 1; i <= 500; i++ {
+				if err := r.Insert(ID(i), 8); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := r.Volume(), int64(500*8); got != want {
+				t.Fatalf("volume = %d, want %d", got, want)
+			}
+		})
+	}
+}

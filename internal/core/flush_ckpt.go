@@ -1,0 +1,174 @@
+package core
+
+import "realloc/internal/trace"
+
+// flushPlan is the fully computed move schedule of a Section 3 flush. The
+// atomic Checkpointed variant executes it in one request; the Deamortized
+// variant executes (4/ε')·w volume of it per subsequent request.
+type flushPlan struct {
+	moves       []planMove
+	next        int
+	movedVolume int64
+}
+
+// planMove relocates one object to a precomputed target.
+type planMove struct {
+	id   ID
+	to   int64
+	size int64
+}
+
+// startFlush builds and installs a Section 3.2 flush plan. For an
+// insert-triggered flush the trigger object has already been placed at L
+// (the endpoint of the last object) and appended, over capacity, to the
+// last buffer; wtrig is its size (0 for delete-triggered flushes).
+//
+// The schedule is:
+//
+//  1. evacuate every buffered object (trigger included) to the overflow
+//     segment starting at W = max{L,L'} + B + ∆ + wtrig,
+//  2. pack all flushed payload objects rightward, ending at W,
+//  3. unpack them leftward to their final positions,
+//  4. pull the buffered objects down from the overflow segment into their
+//     payload tails.
+//
+// Every move's target is provably disjoint from its source (see package
+// documentation for why the +wtrig term is needed), and any move landing
+// on space freed since the last checkpoint blocks on — triggers and
+// counts — a checkpoint.
+func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
+	r.flushes++
+	b := r.boundaryClass(trigClass)
+	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
+
+	L := r.space.MaxEnd() - wtrig
+	lp := r.computeLayout(b)
+	payload, buffered := r.flushedObjects(b)
+	slots := lp.finalSlots(payload, buffered, nil)
+	B := r.flushedBufferSpace(lp.flushIdx)
+	LPrime := lp.newEnd - wtrig
+	W := L
+	if LPrime > W {
+		W = LPrime
+	}
+	W += B + r.delta + wtrig
+
+	var U int64
+	for _, o := range buffered {
+		U += o.size
+	}
+
+	moves := make([]planMove, 0, 2*len(payload)+2*len(buffered))
+	// Step 1: evacuate buffered objects to [W, W+U).
+	off := W
+	for _, o := range buffered {
+		moves = append(moves, planMove{id: o.id, to: off, size: o.size})
+		off += o.size
+	}
+	// Step 2: pack payload objects rightward ending at W (largest class
+	// first; right-to-left within a class — i.e., reverse address order).
+	cursor := W
+	for i := len(payload) - 1; i >= 0; i-- {
+		o := payload[i]
+		cursor -= o.size
+		moves = append(moves, planMove{id: o.id, to: cursor, size: o.size})
+	}
+	// Step 3: unpack leftward to final positions (smallest class first).
+	for _, o := range payload {
+		moves = append(moves, planMove{id: o.id, to: slots[o.id], size: o.size})
+	}
+	// Step 4: buffered objects down into their payload tails.
+	for _, o := range buffered {
+		moves = append(moves, planMove{id: o.id, to: slots[o.id], size: o.size})
+	}
+
+	// Bookkeeping switches to the post-flush geometry now; physical
+	// positions catch up as the plan executes. Every flushed object ends
+	// in its payload.
+	for _, o := range payload {
+		o.place = inPayload
+	}
+	for _, o := range buffered {
+		o.place = inPayload
+	}
+	r.install(lp)
+	r.plan = &flushPlan{moves: moves}
+
+	// Updates arriving while the plan runs are placed in the log region,
+	// which begins past both the overflow segment and the new tail buffer.
+	logBase := W + U
+	if r.tailBuf != nil && r.tailBuf.end() > logBase {
+		logBase = r.tailBuf.end()
+	}
+	r.log.reset(logBase)
+	return nil
+}
+
+// advance executes up to q volume of the active flush plan, then drains
+// the log; it completes the flush when it reaches the end. A deferred
+// flush (tail buffer overflowed during the drain) restarts the cycle.
+func (r *Reallocator) advance(q int64) error {
+	_, err := r.advanceQuota(q)
+	return err
+}
+
+// advanceQuota is advance returning the unused quota.
+func (r *Reallocator) advanceQuota(q int64) (int64, error) {
+	for q > 0 && r.plan != nil {
+		p := r.plan
+		if p.next < len(p.moves) {
+			m := p.moves[p.next]
+			p.next++
+			moved, err := r.moveCkpt(m.id, m.to)
+			if err != nil {
+				return q, err
+			}
+			if moved {
+				q -= m.size
+				p.movedVolume += m.size
+			}
+			continue
+		}
+		if e, ok := r.log.pop(); ok {
+			if e.dead {
+				continue
+			}
+			q -= e.size
+			var err error
+			if e.insert {
+				err = r.drainInsert(e.obj)
+			} else {
+				err = r.drainDelete(e.obj)
+			}
+			if err != nil {
+				return q, err
+			}
+			continue
+		}
+		if err := r.finishFlush(); err != nil {
+			return q, err
+		}
+	}
+	if q < 0 {
+		q = 0
+	}
+	return q, nil
+}
+
+// finishFlush retires the completed plan and, if the tail buffer
+// overflowed while the log drained, immediately triggers the next flush.
+func (r *Reallocator) finishFlush() error {
+	p := r.plan
+	r.plan = nil
+	r.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: p.movedVolume})
+	r.log.reset(0)
+	if t := r.tailBuf; t != nil && t.fill > t.cap {
+		return r.startFlush(maxClassSentinel, 0)
+	}
+	return nil
+}
+
+// maxClassSentinel is an effectively unbounded trigger class for flushes
+// not triggered by a specific request (deferred tail-overflow flushes);
+// the boundary computation lowers it to the smallest buffered class.
+const maxClassSentinel = 1 << 20

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// flushRAM executes a Section 2 buffer flush atomically. trigger is the
+// not-yet-placed object whose insert forced the flush (nil when a delete's
+// dummy record overflowed the buffers). Moves have memmove semantics; the
+// schedule still performs at most two moves per object:
+//
+//  1. evacuate buffered objects to the overflow segment past the array,
+//  2. compact all flushed payload objects leftward (removing holes),
+//  3. expand them rightward to their final, gap-accommodating positions,
+//  4. pull the buffered objects down into their payload tails.
+func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
+	r.flushes++
+	b := r.boundaryClass(trigClass)
+	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
+	var flushedVol int64
+
+	lp := r.computeLayout(b)
+	payload, buffered := r.flushedObjects(b)
+	slots := lp.finalSlots(payload, buffered, trigger)
+
+	// Step 1: evacuate buffered objects to the overflow segment, which
+	// starts after both the current suffix (which may be longer when
+	// deletes shrank the volume) and the new one.
+	overflow := lp.newEnd
+	if cur := r.structEndCurrent(); cur > overflow {
+		overflow = cur
+	}
+	off := overflow
+	for _, o := range buffered {
+		moved, err := r.moveObj(o, off)
+		if err != nil {
+			return err
+		}
+		if moved {
+			flushedVol += o.size
+		}
+		o.place = inOverflow
+		off += o.size
+	}
+
+	// Step 2: compact payload objects leftward, packing them with no gaps
+	// from the suffix start. Class order is preserved because regions are
+	// visited in ascending class order and payload lists are
+	// address-sorted.
+	pos := lp.suffixStart
+	for _, o := range payload {
+		moved, err := r.moveObj(o, pos)
+		if err != nil {
+			return err
+		}
+		if moved {
+			flushedVol += o.size
+		}
+		pos += o.size
+	}
+
+	// Step 3: expand rightward to final positions, largest class first and
+	// right-to-left within it, so no move lands on a not-yet-moved object.
+	for i := len(payload) - 1; i >= 0; i-- {
+		o := payload[i]
+		moved, err := r.moveObj(o, slots[o.id])
+		if err != nil {
+			return err
+		}
+		if moved {
+			flushedVol += o.size
+		}
+	}
+
+	// Step 4: place buffered objects into their payload tails.
+	for _, o := range buffered {
+		moved, err := r.moveObj(o, slots[o.id])
+		if err != nil {
+			return err
+		}
+		if moved {
+			flushedVol += o.size
+		}
+		o.place = inPayload
+	}
+	for _, o := range payload {
+		o.place = inPayload
+	}
+
+	r.install(lp)
+
+	// Finally place the triggering insert at the reserved end of its class
+	// payload; this is its initial allocation, not a reallocation.
+	if trigger != nil {
+		if err := r.placeCkpt(trigger.id, addrspace.Extent{Start: slots[trigger.id], Size: trigger.size}); err != nil {
+			return err
+		}
+		trigger.place = inPayload
+	}
+	r.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: flushedVol})
+	return nil
+}

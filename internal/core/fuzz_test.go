@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzReallocator drives byte-encoded request sequences through all three
+// variants with paranoid invariant checking and data-stamp verification.
+// Each pair of bytes encodes one op: the first selects insert/delete and
+// the variant-independent size; the second selects the delete victim.
+//
+// Run continuously with: go test -fuzz FuzzReallocator ./internal/core
+// The seed corpus below also executes on every plain `go test` run.
+func FuzzReallocator(f *testing.F) {
+	f.Add([]byte{0x01, 0x00, 0x42, 0x01, 0x80, 0x00})
+	f.Add([]byte{0xff, 0xff, 0x00, 0x00, 0x10, 0x20, 0x30, 0x40})
+	f.Add([]byte{0x07, 0x01, 0x07, 0x02, 0x87, 0x00, 0x87, 0x01})
+	seed := make([]byte, 160)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, variant := range variants {
+			r, err := New(Config{Epsilon: 0.3, Variant: variant, Paranoid: true, TrackCells: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := map[ID]int64{}
+			var ids []ID
+			next := ID(1)
+			for i := 0; i+1 < len(data); i += 2 {
+				a, b := data[i], data[i+1]
+				if a&0x80 == 0 || len(ids) == 0 {
+					// Insert with a size derived from the low bits,
+					// occasionally exploded to exercise new classes.
+					size := int64(a&0x7f) + 1
+					if b&0x0f == 0x0f {
+						size *= 97
+					}
+					if err := r.Insert(next, size); err != nil {
+						t.Fatalf("%v: insert(%d,%d): %v", variant, next, size, err)
+					}
+					ref[next] = size
+					ids = append(ids, next)
+					next++
+				} else {
+					idx := int(b) % len(ids)
+					id := ids[idx]
+					if err := r.Delete(id); err != nil {
+						t.Fatalf("%v: delete(%d): %v", variant, id, err)
+					}
+					delete(ref, id)
+					ids[idx] = ids[len(ids)-1]
+					ids = ids[:len(ids)-1]
+				}
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatalf("%v: drain: %v", variant, err)
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("%v: %v", variant, err)
+			}
+			for id, size := range ref {
+				ext, ok := r.Extent(id)
+				if !ok || ext.Size != size {
+					t.Fatalf("%v: object %d lost or resized (%v, %v)", variant, id, ext, ok)
+				}
+				if !r.Space().HoldsData(id, ext) {
+					t.Fatalf("%v: object %d data corrupted", variant, id)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+
+	"realloc/internal/addrspace"
+)
+
+// boundaryClass computes the flush boundary b: the maximum class such that
+// every item buffered in classes >= b (tail buffer included) and the
+// triggering item belong to classes >= b. Scanning regions from largest to
+// smallest and lowering b as smaller-class items appear reaches the
+// maximum fixed point.
+func (r *Reallocator) boundaryClass(trigClass int) int {
+	b := trigClass
+	if t := r.tailBuf; t != nil {
+		// The tail buffer follows every region, so any flush flushes it;
+		// all of its items constrain b.
+		for _, it := range t.items {
+			if it.class < b {
+				b = it.class
+			}
+		}
+	}
+	for k := len(r.regions) - 1; k >= 0 && r.regions[k].class >= b; k-- {
+		for _, it := range r.regions[k].items {
+			if it.class < b {
+				b = it.class
+			}
+		}
+	}
+	return b
+}
+
+// layoutPlan is the computed post-flush geometry of the flushed suffix.
+type layoutPlan struct {
+	boundary    int
+	flushIdx    int   // regions[flushIdx:] are flushed
+	suffixStart int64 // where the rebuilt suffix begins
+	newRegions  []*region
+	newEnd      int64 // absolute end of the rebuilt suffix (payloads+buffers)
+	newTailCap  int64 // deamortized: capacity of the new tail buffer
+}
+
+// computeLayout determines the new suffix geometry for a flush with
+// boundary b. Classes >= b with live volume get payload V(c) and buffer
+// ⌊ε'·V(c)⌋; empty classes vanish.
+func (r *Reallocator) computeLayout(b int) layoutPlan {
+	idx, _ := r.regionIndex(b)
+	start := int64(0)
+	if idx > 0 {
+		start = r.regions[idx-1].end()
+	}
+	var classes []int
+	for c, v := range r.volByClass {
+		if c >= b && v > 0 {
+			classes = append(classes, c)
+		}
+	}
+	sort.Ints(classes)
+	lp := layoutPlan{boundary: b, flushIdx: idx, suffixStart: start}
+	pos := start
+	for _, c := range classes {
+		v := r.volByClass[c]
+		reg := &region{
+			class:    c,
+			payStart: pos,
+			paySize:  v,
+			payLive:  v,
+			bufSize:  r.bufCap(v),
+		}
+		pos = reg.end()
+		lp.newRegions = append(lp.newRegions, reg)
+	}
+	lp.newEnd = pos
+	if r.tailBuf != nil {
+		lp.newTailCap = r.bufCap(r.vol)
+	}
+	return lp
+}
+
+// flushedObjects gathers the live objects involved in flushing classes
+// >= b, split into payload survivors and buffered objects, each sorted by
+// current address (dummies are not objects and are simply dropped). The
+// trigger object, if physically placed in a buffer already, is among the
+// buffered ones.
+func (r *Reallocator) flushedObjects(b int) (payload, buffered []*object) {
+	type placed struct {
+		o     *object
+		start int64
+	}
+	var pay, buf []placed
+	for c, set := range r.objByClass {
+		if c < b {
+			continue
+		}
+		for _, o := range set {
+			switch o.place {
+			case inPayload:
+				pay = append(pay, placed{o, r.extentOf(o).Start})
+			case inBuffer:
+				buf = append(buf, placed{o, r.extentOf(o).Start})
+			}
+		}
+	}
+	byStart := func(s []placed) []*object {
+		sort.Slice(s, func(i, j int) bool { return s[i].start < s[j].start })
+		out := make([]*object, len(s))
+		for i, p := range s {
+			out[i] = p.o
+		}
+		return out
+	}
+	return byStart(pay), byStart(buf)
+}
+
+// finalSlots assigns every flushed object its post-flush position:
+// per class, payload survivors first (in their current relative order),
+// then buffered objects, then the pending Section 2 trigger object (which
+// is not yet physically placed). It returns the target start per object id.
+func (lp *layoutPlan) finalSlots(payload, buffered []*object, trigger *object) map[ID]int64 {
+	slots := make(map[ID]int64, len(payload)+len(buffered)+1)
+	cursor := make(map[int]int64, len(lp.newRegions))
+	for _, reg := range lp.newRegions {
+		cursor[reg.class] = reg.payStart
+	}
+	assign := func(o *object) {
+		pos := cursor[o.class]
+		slots[o.id] = pos
+		cursor[o.class] = pos + o.size
+	}
+	for _, o := range payload {
+		assign(o)
+	}
+	for _, o := range buffered {
+		if trigger != nil && o.id == trigger.id {
+			continue // placed last within its class below
+		}
+		assign(o)
+	}
+	if trigger != nil {
+		// Reserve the very end of the trigger's class payload.
+		reg := lp.regionOf(trigger.class)
+		slots[trigger.id] = reg.payStart + reg.paySize - trigger.size
+	}
+	return slots
+}
+
+// regionOf returns the new region for class c (must exist).
+func (lp *layoutPlan) regionOf(c int) *region {
+	for _, reg := range lp.newRegions {
+		if reg.class == c {
+			return reg
+		}
+	}
+	panic("core: layout missing region for flushed class")
+}
+
+// install replaces the flushed suffix bookkeeping with the new geometry
+// and resets the tail buffer. Physical object positions are the flush
+// executor's responsibility.
+func (r *Reallocator) install(lp layoutPlan) {
+	r.regions = append(r.regions[:lp.flushIdx], lp.newRegions...)
+	if r.tailBuf != nil {
+		r.tailBuf = &tail{start: lp.newEnd, cap: lp.newTailCap}
+	}
+	r.dirty = false
+}
+
+// flushedBufferSpace returns B: the total buffer capacity of the flushed
+// suffix, tail included.
+func (r *Reallocator) flushedBufferSpace(flushIdx int) int64 {
+	var b int64
+	for _, reg := range r.regions[flushIdx:] {
+		b += reg.bufSize
+	}
+	if r.tailBuf != nil {
+		b += r.tailBuf.cap
+	}
+	return b
+}
+
+// structEndCurrent returns the end of the current bookkeeping structure
+// (regions plus tail capacity), ignoring transient working space.
+func (r *Reallocator) structEndCurrent() int64 {
+	end := int64(0)
+	if n := len(r.regions); n > 0 {
+		end = r.regions[n-1].end()
+	}
+	if r.tailBuf != nil && r.tailBuf.end() > end {
+		end = r.tailBuf.end()
+	}
+	return end
+}
+
+// extentOf returns the object's current extent; it panics on bookkeeping
+// desync (objects are always physically placed).
+func (r *Reallocator) extentOf(o *object) addrspace.Extent {
+	e, ok := r.space.Extent(o.id)
+	if !ok {
+		panic("core: object without physical placement")
+	}
+	return e
+}

@@ -1,0 +1,41 @@
+package core
+
+// SegmentInfo describes one region's geometry for visualization and
+// white-box tests.
+type SegmentInfo struct {
+	Class    int
+	PayStart int64
+	PaySize  int64
+	PayLive  int64
+	BufStart int64
+	BufSize  int64
+	BufFill  int64
+	// Tail marks the deamortized tail buffer pseudo-region.
+	Tail bool
+}
+
+// Layout returns the current region geometry in address order.
+func (r *Reallocator) Layout() []SegmentInfo {
+	out := make([]SegmentInfo, 0, len(r.regions)+1)
+	for _, reg := range r.regions {
+		out = append(out, SegmentInfo{
+			Class:    reg.class,
+			PayStart: reg.payStart,
+			PaySize:  reg.paySize,
+			PayLive:  reg.payLive,
+			BufStart: reg.bufStart(),
+			BufSize:  reg.bufSize,
+			BufFill:  reg.bufFill,
+		})
+	}
+	if t := r.tailBuf; t != nil {
+		out = append(out, SegmentInfo{
+			Class:    -1,
+			BufStart: t.start,
+			BufSize:  t.cap,
+			BufFill:  t.fill,
+			Tail:     true,
+		})
+	}
+	return out
+}

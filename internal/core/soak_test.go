@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"realloc/internal/trace"
+)
+
+// TestSoak runs a long, heavy-tailed churn through every variant with
+// periodic full invariant checks and a final bound audit. Skipped under
+// -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, variant := range variants {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			m := trace.NewMetrics()
+			r := MustNew(Config{Epsilon: 0.25, Variant: variant, Recorder: m, TrackCells: true})
+			rng := rand.New(rand.NewPCG(2026, uint64(variant)))
+			var live []ID
+			next := ID(1)
+			const ops = 120000
+			for op := 0; op < ops; op++ {
+				grow := len(live) == 0 || rng.Float64() < 0.52
+				// Periodic regime shifts: bursts of deletes, bursts of
+				// giants.
+				switch (op / 10000) % 3 {
+				case 1:
+					grow = len(live) == 0 || rng.Float64() < 0.35
+				case 2:
+					grow = rng.Float64() < 0.65
+				}
+				if len(live) == 0 {
+					grow = true
+				}
+				if grow {
+					size := int64(1 + rng.Int64N(128))
+					if rng.IntN(200) == 0 {
+						size = 1 + rng.Int64N(16384)
+					}
+					if err := r.Insert(next, size); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					live = append(live, next)
+					next++
+				} else {
+					i := rng.IntN(len(live))
+					if err := r.Delete(live[i]); err != nil {
+						t.Fatalf("op %d delete: %v", op, err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				if op%5000 == 4999 {
+					if err := r.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if m.MaxRatioQuiescent > 1.27 {
+				t.Errorf("quiescent footprint ratio peaked at %v", m.MaxRatioQuiescent)
+			}
+			if m.Meter.Ratio("unit") > 60 {
+				t.Errorf("unit cost ratio %v suspiciously high", m.Meter.Ratio("unit"))
+			}
+			t.Logf("%s soak: %d ops, %d flushes, peak quiescent ratio %.4f, unit ratio %.2f",
+				variant, ops, m.Flushes, m.MaxRatioQuiescent, m.Meter.Ratio("unit"))
+		})
+	}
+}

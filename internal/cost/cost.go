@@ -1,0 +1,216 @@
+// Package cost models allocation/reallocation cost functions and provides
+// machinery to price a reallocation trace under many cost functions at once.
+//
+// The paper's central premise is that the reallocator must be competitive
+// for every monotonically increasing, subadditive cost function f: moving
+// (or initially allocating) a size-w object costs f(w). Because faithful
+// storage cost models are hard to come by (seek-dominated small transfers,
+// bandwidth-dominated large transfers, cache effects), the algorithm never
+// sees f. This package therefore lives entirely on the measurement side:
+// algorithms emit move events, and a Meter prices the same event stream
+// under a whole family of cost functions simultaneously.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Func is a cost function on object sizes. Implementations must be
+// monotonically increasing and subadditive (f(x+y) <= f(x)+f(y)) on the
+// positive integers for the paper's guarantees to apply; Check verifies
+// both properties empirically.
+type Func interface {
+	// Cost returns the cost of allocating or moving an object of size w.
+	// Cost must be positive for all w >= 1.
+	Cost(w int64) float64
+	// Name returns a short identifier used in tables and benchmarks.
+	Name() string
+}
+
+// funcImpl is the standard Func implementation backed by a closure.
+type funcImpl struct {
+	name string
+	fn   func(int64) float64
+}
+
+func (f funcImpl) Cost(w int64) float64 { return f.fn(w) }
+func (f funcImpl) Name() string         { return f.name }
+
+// New builds a Func from a name and a closure.
+func New(name string, fn func(int64) float64) Func {
+	return funcImpl{name: name, fn: fn}
+}
+
+// Unit is the constant cost function f(w) = 1: moving any object costs one
+// seek. This models small random I/O on rotating disks where seek time
+// dominates transfer time.
+func Unit() Func { return funcImpl{"unit", func(int64) float64 { return 1 }} }
+
+// Linear is f(w) = w: cost proportional to object size. This models RAM
+// copies and bandwidth-dominated transfers.
+func Linear() Func { return funcImpl{"linear", func(w int64) float64 { return float64(w) }} }
+
+// Affine is f(w) = seek + bw*w: a fixed positioning cost plus a transfer
+// cost. This is the classic disk model (seek + size/bandwidth) and is
+// subadditive for any seek, bw >= 0.
+func Affine(seek, bw float64) Func {
+	name := fmt.Sprintf("affine(%g+%gw)", seek, bw)
+	return funcImpl{name, func(w int64) float64 { return seek + bw*float64(w) }}
+}
+
+// Sqrt is f(w) = sqrt(w), a concave (hence subadditive) cost capturing
+// strongly sublinear transfer economics.
+func Sqrt() Func { return funcImpl{"sqrt", func(w int64) float64 { return math.Sqrt(float64(w)) }} }
+
+// Log is f(w) = 1 + log2(1+w), concave and subadditive; an extreme model
+// where large transfers are almost free per byte.
+func Log() Func {
+	return funcImpl{"log", func(w int64) float64 { return 1 + math.Log2(1+float64(w)) }}
+}
+
+// MaxSeekBandwidth is f(w) = max(seek, w/bandwidthCells): the transfer is
+// either dominated by positioning or by streaming, whichever is larger.
+// The max of subadditive functions that each pass through the origin region
+// this way is subadditive.
+func MaxSeekBandwidth(seek float64, bandwidthCells float64) Func {
+	name := fmt.Sprintf("max(%g,w/%g)", seek, bandwidthCells)
+	return funcImpl{name, func(w int64) float64 {
+		return math.Max(seek, float64(w)/bandwidthCells)
+	}}
+}
+
+// Capped is f(w) = min(w, cap): linear up to a ceiling. Monotone and
+// subadditive; models transfers that saturate (e.g., a fixed-size DMA
+// window).
+func Capped(capAt float64) Func {
+	name := fmt.Sprintf("capped(%g)", capAt)
+	return funcImpl{name, func(w int64) float64 { return math.Min(float64(w), capAt) }}
+}
+
+// Quadratic is f(w) = w^2. It is superadditive, NOT subadditive; it exists
+// so tests can demonstrate that Check rejects it and that the paper's
+// guarantees are allowed to fail outside the class Fsa.
+func Quadratic() Func {
+	return funcImpl{"quadratic", func(w int64) float64 { f := float64(w); return f * f }}
+}
+
+// StandardFamily returns the set of subadditive cost functions used across
+// the experiment suite. The family deliberately spans the extremes the
+// paper discusses: unit (seek-bound), linear (bandwidth-bound), and several
+// intermediate shapes.
+func StandardFamily() []Func {
+	return []Func{
+		Unit(),
+		Linear(),
+		Affine(64, 1),
+		Sqrt(),
+		Log(),
+		MaxSeekBandwidth(32, 4),
+	}
+}
+
+// CheckResult reports the outcome of a subadditivity/monotonicity check.
+type CheckResult struct {
+	Monotone    bool
+	Subadditive bool
+	// Witness holds (x, y) violating subadditivity or (x) violating
+	// monotonicity when the corresponding flag is false.
+	WitnessX, WitnessY int64
+}
+
+// Ok reports whether the function passed both checks.
+func (r CheckResult) Ok() bool { return r.Monotone && r.Subadditive }
+
+// Check empirically verifies that f is monotonically increasing (weakly)
+// and subadditive on [1, maxW]. It is exhaustive over a deterministic grid
+// plus all pairs of a logarithmic ladder, which catches every practical
+// violation without an O(maxW^2) scan.
+func Check(f Func, maxW int64) CheckResult {
+	res := CheckResult{Monotone: true, Subadditive: true}
+	if maxW < 2 {
+		maxW = 2
+	}
+	// Monotonicity on a dense prefix and a logarithmic ladder.
+	prev := f.Cost(1)
+	if prev <= 0 {
+		res.Monotone = false
+		res.WitnessX = 1
+		return res
+	}
+	limit := int64(4096)
+	if maxW < limit {
+		limit = maxW
+	}
+	for w := int64(2); w <= limit; w++ {
+		c := f.Cost(w)
+		if c < prev-1e-12 {
+			res.Monotone = false
+			res.WitnessX = w
+			return res
+		}
+		prev = c
+	}
+	ladder := ladderTo(maxW)
+	for i := 1; i < len(ladder); i++ {
+		if f.Cost(ladder[i]) < f.Cost(ladder[i-1])-1e-12 {
+			res.Monotone = false
+			res.WitnessX = ladder[i]
+			return res
+		}
+	}
+	// Subadditivity on all ladder pairs and a dense small grid.
+	checkPair := func(x, y int64) bool {
+		if x+y > maxW {
+			return true
+		}
+		return f.Cost(x+y) <= f.Cost(x)+f.Cost(y)+1e-9
+	}
+	for _, x := range ladder {
+		for _, y := range ladder {
+			if !checkPair(x, y) {
+				res.Subadditive = false
+				res.WitnessX, res.WitnessY = x, y
+				return res
+			}
+		}
+	}
+	small := limit
+	if small > 128 {
+		small = 128
+	}
+	for x := int64(1); x <= small; x++ {
+		for y := x; y <= small; y++ {
+			if !checkPair(x, y) {
+				res.Subadditive = false
+				res.WitnessX, res.WitnessY = x, y
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// ladderTo returns 1, 2, 3, 4, 6, 8, 12, 16, ... up to maxW: powers of two
+// and their midpoints, which probe the class boundaries used by the
+// reallocator.
+func ladderTo(maxW int64) []int64 {
+	var out []int64
+	seen := map[int64]bool{}
+	add := func(v int64) {
+		if v >= 1 && v <= maxW && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for p := int64(1); p > 0 && p <= maxW; p *= 2 {
+		add(p)
+		add(p + p/2)
+		add(p - 1)
+		add(p + 1)
+	}
+	add(maxW)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,200 @@
+package cost
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFunctionValues(t *testing.T) {
+	cases := []struct {
+		f    Func
+		w    int64
+		want float64
+	}{
+		{Unit(), 1, 1},
+		{Unit(), 1 << 20, 1},
+		{Linear(), 7, 7},
+		{Affine(10, 2), 5, 20},
+		{Sqrt(), 16, 4},
+		{Capped(100), 50, 50},
+		{Capped(100), 500, 100},
+		{MaxSeekBandwidth(32, 4), 4, 32},
+		{MaxSeekBandwidth(32, 4), 400, 100},
+		{Quadratic(), 3, 9},
+	}
+	for _, c := range cases {
+		if got := c.f.Cost(c.w); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s(%d) = %v, want %v", c.f.Name(), c.w, got, c.want)
+		}
+	}
+	if Log().Cost(1) <= 1 {
+		t.Error("log cost at 1 should exceed 1")
+	}
+}
+
+func TestStandardFamilyIsSubadditive(t *testing.T) {
+	for _, f := range StandardFamily() {
+		res := Check(f, 1<<16)
+		if !res.Ok() {
+			t.Errorf("%s failed check: %+v", f.Name(), res)
+		}
+	}
+}
+
+func TestCheckRejectsQuadratic(t *testing.T) {
+	res := Check(Quadratic(), 1<<10)
+	if res.Subadditive {
+		t.Fatal("quadratic should fail subadditivity")
+	}
+	if res.Monotone == false {
+		t.Fatal("quadratic is monotone; only subadditivity should fail")
+	}
+	if res.WitnessX <= 0 || res.WitnessY <= 0 {
+		t.Fatalf("missing witness: %+v", res)
+	}
+	// The witness must actually violate subadditivity.
+	q := Quadratic()
+	if q.Cost(res.WitnessX+res.WitnessY) <= q.Cost(res.WitnessX)+q.Cost(res.WitnessY) {
+		t.Fatalf("witness (%d,%d) does not violate", res.WitnessX, res.WitnessY)
+	}
+}
+
+func TestCheckRejectsNonMonotone(t *testing.T) {
+	f := New("sawtooth", func(w int64) float64 {
+		if w%2 == 0 {
+			return float64(w) / 2
+		}
+		return float64(w)
+	})
+	res := Check(f, 1<<10)
+	if res.Monotone {
+		t.Fatal("sawtooth should fail monotonicity")
+	}
+}
+
+func TestCheckRejectsNonPositive(t *testing.T) {
+	f := New("zero", func(int64) float64 { return 0 })
+	if res := Check(f, 100); res.Monotone {
+		t.Fatal("zero-cost function must be rejected")
+	}
+}
+
+// TestSubadditivityProperty verifies every standard function on random
+// pairs, independent of Check's grid.
+func TestSubadditivityProperty(t *testing.T) {
+	for _, f := range StandardFamily() {
+		f := f
+		err := quick.Check(func(a, b uint32) bool {
+			x := int64(a%100000) + 1
+			y := int64(b%100000) + 1
+			return f.Cost(x+y) <= f.Cost(x)+f.Cost(y)+1e-9
+		}, &quick.Config{MaxCount: 500})
+		if err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+}
+
+// TestSubadditiveImpliesLinearBound checks f(w) <= w*f(1), the inequality
+// the deamortized worst-case bound relies on.
+func TestSubadditiveImpliesLinearBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, f := range StandardFamily() {
+		f1 := f.Cost(1)
+		for i := 0; i < 200; i++ {
+			w := 1 + rng.Int64N(1<<20)
+			if f.Cost(w) > float64(w)*f1+1e-6 {
+				t.Errorf("%s: f(%d)=%v > w*f(1)=%v", f.Name(), w, f.Cost(w), float64(w)*f1)
+				break
+			}
+		}
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter(Unit(), Linear())
+	m.Alloc(10)
+	m.Alloc(20)
+	m.Move(10)
+	m.Move(10)
+	m.EndOp()
+	m.Move(20)
+	m.EndOp()
+
+	if m.AllocVolume() != 30 || m.ReallocVolume() != 40 {
+		t.Fatalf("volumes: alloc=%d realloc=%d", m.AllocVolume(), m.ReallocVolume())
+	}
+	if m.Allocs() != 2 || m.Moves() != 3 {
+		t.Fatalf("counts: allocs=%d moves=%d", m.Allocs(), m.Moves())
+	}
+	// unit: alloc 2, realloc 3 -> 1.5; linear: alloc 30, realloc 40 -> 4/3.
+	if got := m.Ratio("unit"); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("unit ratio = %v", got)
+	}
+	if got := m.Ratio("linear"); math.Abs(got-40.0/30) > 1e-9 {
+		t.Fatalf("linear ratio = %v", got)
+	}
+	if got := m.Ratio("nope"); got != 0 {
+		t.Fatalf("unknown function ratio = %v", got)
+	}
+	// Worst op under linear: first op moved 20, second 20 -> max 20.
+	for _, l := range m.Lines() {
+		switch l.Func {
+		case "linear":
+			if l.MaxOpCost != 20 {
+				t.Fatalf("linear maxOp = %v", l.MaxOpCost)
+			}
+		case "unit":
+			if l.MaxOpCost != 2 {
+				t.Fatalf("unit maxOp = %v", l.MaxOpCost)
+			}
+		}
+	}
+	if m.MaxOpVolume() != 20 {
+		t.Fatalf("maxOpVolume = %d", m.MaxOpVolume())
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMeterDefaultsToStandardFamily(t *testing.T) {
+	m := NewMeter()
+	if len(m.Funcs()) != len(StandardFamily()) {
+		t.Fatalf("default family size %d", len(m.Funcs()))
+	}
+	m.Alloc(5)
+	if m.Ratio("unit") != 0 {
+		t.Fatal("no moves yet, ratio should be 0")
+	}
+	lines := m.Lines()
+	if len(lines) != len(StandardFamily()) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1].Func > lines[i].Func {
+			t.Fatal("lines not sorted by function name")
+		}
+	}
+}
+
+func TestLadder(t *testing.T) {
+	l := ladderTo(100)
+	seen := map[int64]bool{}
+	for _, v := range l {
+		if v < 1 || v > 100 {
+			t.Fatalf("ladder value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate ladder value %d", v)
+		}
+		seen[v] = true
+	}
+	for _, want := range []int64{1, 2, 4, 64, 96, 100} {
+		if !seen[want] {
+			t.Fatalf("ladder missing %d: %v", want, l)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Meter prices an allocation/reallocation event stream under a family of
+// cost functions simultaneously. The algorithm under test drives the meter
+// through Alloc and Move calls but can never read the accumulated costs,
+// which preserves cost obliviousness by construction.
+type Meter struct {
+	funcs []Func
+	// alloc[i], realloc[i] accumulate the cost under funcs[i].
+	alloc   []float64
+	realloc []float64
+	// maxOp[i] is the largest single-operation reallocation cost observed
+	// under funcs[i]; opCur accumulates within the current operation.
+	maxOp []float64
+	opCur []float64
+
+	allocVolume   int64
+	reallocVolume int64
+	allocOps      int64
+	moveOps       int64
+	maxOpVolume   int64
+	opCurVolume   int64
+}
+
+// NewMeter creates a meter over the given cost family. With no arguments it
+// uses StandardFamily.
+func NewMeter(funcs ...Func) *Meter {
+	if len(funcs) == 0 {
+		funcs = StandardFamily()
+	}
+	n := len(funcs)
+	return &Meter{
+		funcs:   funcs,
+		alloc:   make([]float64, n),
+		realloc: make([]float64, n),
+		maxOp:   make([]float64, n),
+		opCur:   make([]float64, n),
+	}
+}
+
+// Alloc records the initial allocation of a size-w object. Allocation cost
+// is the denominator of the paper's competitive ratio: a reallocator is
+// b-cost-competitive when realloc cost <= b * alloc cost.
+func (m *Meter) Alloc(w int64) {
+	for i, f := range m.funcs {
+		m.alloc[i] += f.Cost(w)
+	}
+	m.allocVolume += w
+	m.allocOps++
+}
+
+// Move records the reallocation of a size-w object.
+func (m *Meter) Move(w int64) {
+	for i, f := range m.funcs {
+		c := f.Cost(w)
+		m.realloc[i] += c
+		m.opCur[i] += c
+	}
+	m.reallocVolume += w
+	m.opCurVolume += w
+	m.moveOps++
+}
+
+// EndOp closes the current insert/delete request for worst-case-per-op
+// accounting (Lemma 3.6 measures the maximum reallocation cost charged to
+// a single request).
+func (m *Meter) EndOp() {
+	for i := range m.funcs {
+		if m.opCur[i] > m.maxOp[i] {
+			m.maxOp[i] = m.opCur[i]
+		}
+		m.opCur[i] = 0
+	}
+	if m.opCurVolume > m.maxOpVolume {
+		m.maxOpVolume = m.opCurVolume
+	}
+	m.opCurVolume = 0
+}
+
+// Ratio returns realloc/alloc cost under cost function name. It returns 0
+// when no allocations have been recorded.
+func (m *Meter) Ratio(name string) float64 {
+	for i, f := range m.funcs {
+		if f.Name() == name {
+			if m.alloc[i] == 0 {
+				return 0
+			}
+			return m.realloc[i] / m.alloc[i]
+		}
+	}
+	return 0
+}
+
+// Funcs returns the cost family the meter prices.
+func (m *Meter) Funcs() []Func { return m.funcs }
+
+// Line summarizes one cost function's accounting.
+type Line struct {
+	Func         string
+	AllocCost    float64
+	ReallocCost  float64
+	Ratio        float64 // ReallocCost / AllocCost
+	MaxOpCost    float64 // worst single-request reallocation cost
+	MaxOpOverF1  float64 // MaxOpCost normalized by f(1), for Lemma 3.6 shape checks
+	ReallocMoves int64
+}
+
+// Lines returns one summary per cost function, sorted by function name for
+// stable output.
+func (m *Meter) Lines() []Line {
+	out := make([]Line, 0, len(m.funcs))
+	for i, f := range m.funcs {
+		l := Line{
+			Func:         f.Name(),
+			AllocCost:    m.alloc[i],
+			ReallocCost:  m.realloc[i],
+			MaxOpCost:    m.maxOp[i],
+			ReallocMoves: m.moveOps,
+		}
+		if m.alloc[i] > 0 {
+			l.Ratio = m.realloc[i] / m.alloc[i]
+		}
+		if f1 := f.Cost(1); f1 > 0 {
+			l.MaxOpOverF1 = m.maxOp[i] / f1
+		}
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out
+}
+
+// AllocVolume returns the total volume allocated.
+func (m *Meter) AllocVolume() int64 { return m.allocVolume }
+
+// ReallocVolume returns the total volume moved.
+func (m *Meter) ReallocVolume() int64 { return m.reallocVolume }
+
+// MaxOpVolume returns the largest volume moved within one request.
+func (m *Meter) MaxOpVolume() int64 { return m.maxOpVolume }
+
+// Moves returns the total number of object moves recorded.
+func (m *Meter) Moves() int64 { return m.moveOps }
+
+// Allocs returns the total number of allocations recorded.
+func (m *Meter) Allocs() int64 { return m.allocOps }
+
+// String renders a compact multi-line summary.
+func (m *Meter) String() string {
+	s := ""
+	for _, l := range m.Lines() {
+		s += fmt.Sprintf("%-16s alloc=%12.1f realloc=%12.1f ratio=%6.3f maxOp=%10.1f\n",
+			l.Func, l.AllocCost, l.ReallocCost, l.Ratio, l.MaxOpCost)
+	}
+	return s
+}

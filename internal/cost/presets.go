@@ -1,0 +1,48 @@
+package cost
+
+// Storage-medium presets. Cells are 4KiB units and costs are microseconds
+// of device time — the absolute scale is irrelevant to competitive ratios,
+// but the *shapes* match the media the paper discusses:
+//
+//   - RAM: pure bandwidth, linear in the object size.
+//   - HDD: a multi-millisecond positioning cost dominates small transfers;
+//     bandwidth dominates large ones (affine).
+//   - SSD: no seek arm, but a fixed per-command overhead and a high
+//     transfer rate (affine with a much smaller constant).
+//   - ArchivalTape: positioning so dominant that transfer time is nearly
+//     irrelevant below huge sizes (max of a large constant and a slow
+//     stream rate).
+//
+// All presets are monotonically increasing and subadditive, hence inside
+// the class Fsa the reallocator is competitive against.
+
+// RAM prices a move at ~0.01us per 4KiB cell (10 GB/s memcpy).
+func RAM() Func {
+	return New("ram", func(w int64) float64 { return 0.01 * float64(w) })
+}
+
+// HDD prices a move at 8ms positioning + ~25us per cell (160 MB/s).
+func HDD() Func {
+	return New("hdd", func(w int64) float64 { return 8000 + 25*float64(w) })
+}
+
+// SSD prices a move at 80us command overhead + ~2us per cell (2 GB/s).
+func SSD() Func {
+	return New("ssd", func(w int64) float64 { return 80 + 2*float64(w) })
+}
+
+// ArchivalTape prices a move at max(40s positioning, 10us/cell stream).
+func ArchivalTape() Func {
+	return New("tape", func(w int64) float64 {
+		if stream := 10 * float64(w); stream > 4e7 {
+			return stream
+		}
+		return 4e7
+	})
+}
+
+// MediaFamily returns the four medium presets; price any run under all of
+// them to see the same algorithm serve RAM and tape alike.
+func MediaFamily() []Func {
+	return []Func{RAM(), HDD(), SSD(), ArchivalTape()}
+}

@@ -1,0 +1,49 @@
+package cost
+
+import "testing"
+
+func TestMediaPresetsAreSubadditive(t *testing.T) {
+	for _, f := range MediaFamily() {
+		res := Check(f, 1<<22)
+		if !res.Ok() {
+			t.Errorf("%s failed subadditivity/monotonicity: %+v", f.Name(), res)
+		}
+	}
+}
+
+func TestMediaPresetShapes(t *testing.T) {
+	// HDD: positioning dominates a one-cell move; bandwidth dominates a
+	// million-cell move.
+	hdd := HDD()
+	if hdd.Cost(1) < 8000 || hdd.Cost(1) > 8100 {
+		t.Errorf("hdd small move = %v", hdd.Cost(1))
+	}
+	if hdd.Cost(1<<20)/hdd.Cost(1) < 1000 {
+		t.Error("hdd large move should be bandwidth-dominated")
+	}
+	// SSD beats HDD on small I/O by orders of magnitude.
+	if SSD().Cost(1) > hdd.Cost(1)/10 {
+		t.Error("ssd should be much cheaper than hdd for small moves")
+	}
+	// RAM is linear.
+	ram := RAM()
+	if ram.Cost(200) != 2*ram.Cost(100) {
+		t.Error("ram not linear")
+	}
+	// Tape: positioning dominates until very large sizes.
+	tape := ArchivalTape()
+	if tape.Cost(1) != tape.Cost(1000) {
+		t.Error("tape small moves should be positioning-only")
+	}
+	if tape.Cost(1<<40) <= tape.Cost(1) {
+		t.Error("tape must eventually stream")
+	}
+	// Names are distinct (they key metrics tables).
+	seen := map[string]bool{}
+	for _, f := range MediaFamily() {
+		if seen[f.Name()] {
+			t.Errorf("duplicate preset name %q", f.Name())
+		}
+		seen[f.Name()] = true
+	}
+}

@@ -1,0 +1,263 @@
+// Package defrag implements the cost-oblivious defragmentation corollary
+// (Theorem 2.7): given objects occupying at most (1+ε)·V space and an
+// arbitrary comparison function, sort the objects physically using at most
+// (1+ε)·V + ∆ space and O((1/ε)·log(1/ε)) amortized moves per object —
+// versus the naïve defragmenter's 2·V space.
+//
+// The construction uses the Section 2 reallocator as a black box planning
+// structure over the array prefix. Every placement the reallocator decides
+// is mirrored as a physical move on the caller's address space:
+//
+//  1. crunch all objects into the rightmost V cells, leaving a ⌊εV⌋ prefix
+//     free;
+//  2. feed suffix objects left-to-right through a ∆-sized scratch slot
+//     into the reallocator-managed prefix;
+//  3. drain the prefix in reverse sorted order, rebuilding the suffix
+//     right-to-left in sorted order (again via the scratch slot, so the
+//     reallocator's compaction never collides with the object in transit).
+package defrag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// ErrTooSparse reports an input allocation wider than (1+ε)·V, violating
+// Theorem 2.7's precondition.
+var ErrTooSparse = errors.New("defrag: input allocation exceeds (1+eps)*V")
+
+// Stats summarizes a defragmentation run.
+type Stats struct {
+	Objects            int
+	Volume             int64
+	Delta              int64
+	PeakFootprint      int64
+	SpaceBudget        int64 // (1+eps)V + Delta
+	TotalMoves         int64
+	MaxMovesPerObject  int64
+	MeanMovesPerObject float64
+}
+
+// mirror replays the planning reallocator's placements as physical moves
+// on the real space and tallies per-object move counts.
+type mirror struct {
+	space *addrspace.Space
+	moves map[addrspace.ID]int64
+	total int64
+	peak  int64
+	err   error
+}
+
+func (m *mirror) Record(e trace.Event) {
+	if m.err != nil {
+		return
+	}
+	switch e.Kind {
+	case trace.KInsert, trace.KMove:
+		id := addrspace.ID(e.ID)
+		cur, ok := m.space.Extent(id)
+		if !ok {
+			m.err = fmt.Errorf("defrag: planner placed unknown object %d", id)
+			return
+		}
+		if cur.Start == e.To {
+			return
+		}
+		if err := m.space.Move(id, e.To); err != nil {
+			m.err = fmt.Errorf("defrag: mirroring planner move of %d to %d: %w", id, e.To, err)
+			return
+		}
+		m.bump(id)
+	}
+}
+
+func (m *mirror) bump(id addrspace.ID) {
+	m.moves[id]++
+	m.total++
+	if fp := m.space.MaxEnd(); fp > m.peak {
+		m.peak = fp
+	}
+}
+
+// move relocates an object directly (crunch/scratch/suffix moves).
+func (m *mirror) move(id addrspace.ID, to int64) error {
+	if m.err != nil {
+		return m.err
+	}
+	cur, ok := m.space.Extent(id)
+	if !ok {
+		return fmt.Errorf("defrag: move of unknown object %d", id)
+	}
+	if cur.Start == to {
+		return nil
+	}
+	if err := m.space.Move(id, to); err != nil {
+		return fmt.Errorf("defrag: moving %d to %d: %w", id, to, err)
+	}
+	m.bump(id)
+	return nil
+}
+
+// Sort physically sorts all objects of sp by less, packing them
+// contiguously into [⌊εV⌋, ⌊εV⌋+V) in ascending order. sp must use RAM
+// semantics (the Section 2 algorithm assumes memmove-style moves).
+func Sort(sp *addrspace.Space, less func(a, b addrspace.ID) bool, eps float64) (Stats, error) {
+	if eps <= 0 || eps > 1 {
+		return Stats{}, fmt.Errorf("defrag: eps %v out of (0,1]", eps)
+	}
+	type obj struct {
+		id   addrspace.ID
+		ext  addrspace.Extent
+		size int64
+	}
+	var objs []obj
+	var vol, delta int64
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		objs = append(objs, obj{id: id, ext: ext, size: ext.Size})
+		vol += ext.Size
+		if ext.Size > delta {
+			delta = ext.Size
+		}
+	})
+	st := Stats{Objects: len(objs), Volume: vol, Delta: delta}
+	if len(objs) == 0 {
+		return st, nil
+	}
+	bound := int64(float64(vol)*(1+eps)) + 1
+	st.SpaceBudget = bound + delta
+	if sp.MaxEnd() > bound {
+		return st, fmt.Errorf("%w: footprint %d > %d", ErrTooSparse, sp.MaxEnd(), bound)
+	}
+
+	m := &mirror{space: sp, moves: make(map[addrspace.ID]int64), peak: sp.MaxEnd()}
+	prefix := int64(eps * float64(vol)) // ⌊εV⌋
+	suffixEnd := prefix + vol
+	scratch := suffixEnd // ∆ cells of working space
+
+	// Phase 1: crunch everything into [prefix, suffixEnd), rightmost
+	// object first.
+	cursor := suffixEnd
+	for i := len(objs) - 1; i >= 0; i-- {
+		cursor -= objs[i].size
+		if err := m.move(objs[i].id, cursor); err != nil {
+			return st, err
+		}
+	}
+
+	// Phase 2: feed suffix objects (left to right) through the scratch
+	// slot into the reallocator-managed prefix.
+	planner, err := core.New(core.Config{Epsilon: eps, Variant: core.Amortized, Recorder: m})
+	if err != nil {
+		return st, err
+	}
+	for _, o := range objs {
+		if err := m.move(o.id, scratch); err != nil {
+			return st, err
+		}
+		if err := planner.Insert(o.id, o.size); err != nil {
+			return st, fmt.Errorf("defrag: planner insert: %w", err)
+		}
+		if m.err != nil {
+			return st, m.err
+		}
+	}
+
+	// Phase 3: extract in reverse sorted order, rebuilding the suffix
+	// right-to-left so it ends fully sorted ascending.
+	order := make([]addrspace.ID, len(objs))
+	sizes := make(map[addrspace.ID]int64, len(objs))
+	for i, o := range objs {
+		order[i] = o.id
+		sizes[o.id] = o.size
+	}
+	sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+	front := suffixEnd
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if err := m.move(id, scratch); err != nil {
+			return st, err
+		}
+		if err := planner.Delete(id); err != nil {
+			return st, fmt.Errorf("defrag: planner delete: %w", err)
+		}
+		if m.err != nil {
+			return st, m.err
+		}
+		front -= sizes[id]
+		if err := m.move(id, front); err != nil {
+			return st, err
+		}
+	}
+
+	st.PeakFootprint = m.peak
+	st.TotalMoves = m.total
+	for _, n := range m.moves {
+		if n > st.MaxMovesPerObject {
+			st.MaxMovesPerObject = n
+		}
+	}
+	st.MeanMovesPerObject = float64(m.total) / float64(len(objs))
+	return st, nil
+}
+
+// NaiveSort is the trivial 2·V-space defragmenter: pack everything into
+// [V, 2V), then place each object at its sorted position in [0, V).
+// Exactly two moves per object, but double the working space.
+func NaiveSort(sp *addrspace.Space, less func(a, b addrspace.ID) bool) (Stats, error) {
+	type obj struct {
+		id   addrspace.ID
+		size int64
+	}
+	var objs []obj
+	var vol, delta int64
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		objs = append(objs, obj{id: id, size: ext.Size})
+		vol += ext.Size
+		if ext.Size > delta {
+			delta = ext.Size
+		}
+	})
+	st := Stats{Objects: len(objs), Volume: vol, Delta: delta, SpaceBudget: 2 * vol}
+	if len(objs) == 0 {
+		return st, nil
+	}
+	m := &mirror{space: sp, moves: make(map[addrspace.ID]int64), peak: sp.MaxEnd()}
+	// Pack into [V, 2V), rightmost first.
+	cursor := 2 * vol
+	for i := len(objs) - 1; i >= 0; i-- {
+		cursor -= objs[i].size
+		if err := m.move(objs[i].id, cursor); err != nil {
+			return st, err
+		}
+	}
+	order := make([]addrspace.ID, len(objs))
+	for i, o := range objs {
+		order[i] = o.id
+	}
+	sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+	sizes := make(map[addrspace.ID]int64, len(objs))
+	for _, o := range objs {
+		sizes[o.id] = o.size
+	}
+	pos := int64(0)
+	for _, id := range order {
+		if err := m.move(id, pos); err != nil {
+			return st, err
+		}
+		pos += sizes[id]
+	}
+	st.PeakFootprint = m.peak
+	st.TotalMoves = m.total
+	for _, n := range m.moves {
+		if n > st.MaxMovesPerObject {
+			st.MaxMovesPerObject = n
+		}
+	}
+	st.MeanMovesPerObject = float64(m.total) / float64(len(objs))
+	return st, nil
+}

@@ -1,0 +1,237 @@
+package defrag
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"realloc/internal/addrspace"
+)
+
+// buildFragmented places n objects with the given sizes in a shuffled
+// order with holes, keeping the footprint within (1+eps)V.
+func buildFragmented(t *testing.T, rng *rand.Rand, sizes []int64, eps float64) (*addrspace.Space, int64) {
+	t.Helper()
+	var vol int64
+	for _, s := range sizes {
+		vol += s
+	}
+	gapBudget := int64(eps * 0.9 * float64(vol))
+	sp := addrspace.New(addrspace.RAM())
+	order := rng.Perm(len(sizes))
+	pos := int64(0)
+	for _, idx := range order {
+		if gapBudget > 0 && rng.IntN(4) == 0 {
+			g := 1 + rng.Int64N(gapBudget/3+1)
+			if g > gapBudget {
+				g = gapBudget
+			}
+			pos += g
+			gapBudget -= g
+		}
+		if err := sp.Place(addrspace.ID(idx+1), addrspace.Extent{Start: pos, Size: sizes[idx]}); err != nil {
+			t.Fatal(err)
+		}
+		pos += sizes[idx]
+	}
+	return sp, vol
+}
+
+func idLess(a, b addrspace.ID) bool { return a < b }
+
+// assertSorted checks objects are packed contiguously in ascending ID
+// order starting at the prefix boundary.
+func assertSorted(t *testing.T, sp *addrspace.Space, vol int64, eps float64) {
+	t.Helper()
+	prefix := int64(eps * float64(vol))
+	pos := prefix
+	last := addrspace.ID(0)
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		if id < last {
+			t.Fatalf("order violated: %d after %d", id, last)
+		}
+		if ext.Start != pos {
+			t.Fatalf("object %d at %d, want %d (not packed)", id, ext.Start, pos)
+		}
+		last = id
+		pos = ext.End()
+	})
+	if pos != prefix+vol {
+		t.Fatalf("packed extent ends at %d, want %d", pos, prefix+vol)
+	}
+}
+
+func TestSortBasic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	sizes := make([]int64, 200)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Int64N(50)
+	}
+	eps := 0.25
+	sp, vol := buildFragmented(t, rng, sizes, eps)
+	st, err := Sort(sp, idLess, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, sp, vol, eps)
+	if st.PeakFootprint > st.SpaceBudget {
+		t.Fatalf("peak %d exceeded budget %d", st.PeakFootprint, st.SpaceBudget)
+	}
+	if st.Objects != 200 || st.Volume != vol {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MaxMovesPerObject < 1 || st.TotalMoves == 0 {
+		t.Fatalf("move accounting: %+v", st)
+	}
+}
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	sp := addrspace.New(addrspace.RAM())
+	st, err := Sort(sp, idLess, 0.5)
+	if err != nil || st.Objects != 0 {
+		t.Fatalf("empty sort: %v %+v", err, st)
+	}
+	if err := sp.Place(1, addrspace.Extent{Start: 3, Size: 7}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Sort(sp, idLess, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 1 {
+		t.Fatalf("single sort: %+v", st)
+	}
+	ext, _ := sp.Extent(1)
+	if ext.Size != 7 {
+		t.Fatalf("object resized: %v", ext)
+	}
+}
+
+func TestSortRejectsEps(t *testing.T) {
+	sp := addrspace.New(addrspace.RAM())
+	if _, err := Sort(sp, idLess, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Sort(sp, idLess, 1.5); err == nil {
+		t.Fatal("eps>1 accepted")
+	}
+}
+
+func TestSortRejectsTooSparse(t *testing.T) {
+	sp := addrspace.New(addrspace.RAM())
+	_ = sp.Place(1, addrspace.Extent{Start: 0, Size: 10})
+	_ = sp.Place(2, addrspace.Extent{Start: 100, Size: 10}) // footprint 110 >> (1+eps)*20
+	_, err := Sort(sp, idLess, 0.25)
+	if !errors.Is(err, ErrTooSparse) {
+		t.Fatalf("want ErrTooSparse, got %v", err)
+	}
+}
+
+func TestSortByReverseOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	sizes := make([]int64, 100)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Int64N(30)
+	}
+	sp, _ := buildFragmented(t, rng, sizes, 0.5)
+	greater := func(a, b addrspace.ID) bool { return a > b }
+	if _, err := Sort(sp, greater, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	last := addrspace.ID(1 << 30)
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		if id > last {
+			t.Fatalf("descending order violated: %d after %d", id, last)
+		}
+		last = id
+	})
+}
+
+func TestNaiveSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	sizes := make([]int64, 150)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Int64N(40)
+	}
+	sp, vol := buildFragmented(t, rng, sizes, 0.4)
+	st, err := NaiveSort(sp, idLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed at 0, sorted ascending.
+	pos := int64(0)
+	last := addrspace.ID(0)
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		if id < last || ext.Start != pos {
+			t.Fatalf("naive sort result malformed at %d", id)
+		}
+		last = id
+		pos = ext.End()
+	})
+	// Exactly two moves per object; peak near 2V.
+	if st.MaxMovesPerObject != 2 {
+		t.Fatalf("naive max moves = %d", st.MaxMovesPerObject)
+	}
+	if st.PeakFootprint < vol*3/2 {
+		t.Fatalf("naive peak %d suspiciously small for V=%d", st.PeakFootprint, vol)
+	}
+}
+
+// TestSortQuick is the Theorem 2.7 property test: random inputs, random
+// eps; result sorted, space budget respected, amortized moves bounded by
+// a constant times (1/eps)ln(1/eps).
+func TestSortQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64, epsPick uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		eps := []float64{0.5, 0.25, 0.125}[int(epsPick)%3]
+		n := 30 + rng.IntN(150)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int64N(64)
+			if rng.IntN(10) == 0 {
+				sizes[i] = 64 + rng.Int64N(128)
+			}
+		}
+		sp, vol := buildFragmented(t, rng, sizes, eps)
+		st, err := Sort(sp, idLess, eps)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if st.PeakFootprint > st.SpaceBudget {
+			t.Logf("peak %d > budget %d", st.PeakFootprint, st.SpaceBudget)
+			return false
+		}
+		prefix := int64(eps * float64(vol))
+		pos := prefix
+		last := addrspace.ID(0)
+		ok := true
+		sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+			if id < last || ext.Start != pos {
+				ok = false
+			}
+			last = id
+			pos = ext.End()
+		})
+		if !ok {
+			t.Log("result not sorted/packed")
+			return false
+		}
+		// Amortized move bound with a generous constant.
+		bound := 40 * (1 / eps) * (1 + math.Log(1/eps))
+		if st.MeanMovesPerObject > bound {
+			t.Logf("mean moves %v > bound %v (eps=%v)", st.MeanMovesPerObject, bound, eps)
+			return false
+		}
+		if err := sp.Verify(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"realloc/internal/core"
+	"realloc/internal/stats"
+	"realloc/internal/workload"
+)
+
+// E1 measures footprint competitiveness: for every variant and a sweep of
+// epsilon, the maximum footprint/volume and structure/volume ratios over a
+// churn workload must stay below 1+epsilon (Theorem 2.1 / Lemma 2.5).
+func E1(cfg Config) (*Result, error) {
+	res := &Result{ID: "E1", Title: "Footprint competitiveness vs epsilon", Findings: map[string]float64{}}
+	ops := cfg.ops(20000)
+	table := stats.NewTable("variant", "eps", "bound 1+eps", "max struct/V", "max footprint/V", "moves/op", "flushes")
+	var series []string
+	for _, variant := range []core.Variant{core.Amortized, core.Checkpointed, core.Deamortized} {
+		for _, eps := range []float64{0.5, 0.25, 0.1, 0.05} {
+			r, m, err := newCore(variant, eps)
+			if err != nil {
+				return nil, err
+			}
+			m.SampleEvery = ops / 64
+			churn := &workload.Churn{
+				Seed:         cfg.Seed + 1,
+				Sizes:        workload.Uniform{Min: 1, Max: 256},
+				TargetVolume: 50000,
+			}
+			if err := drive(r, churn, ops); err != nil {
+				return nil, err
+			}
+			if variant == core.Amortized {
+				ratios := make([]float64, 0, len(m.Series))
+				for _, s := range m.Series {
+					if s.Volume > 0 {
+						ratios = append(ratios, float64(s.Footprint)/float64(s.Volume))
+					}
+				}
+				series = append(series, fmt.Sprintf("  eps=%-5g footprint/V over time: %s", eps, stats.Sparkline(ratios, 64)))
+			}
+			movesPerOp := float64(m.MovesTotal) / float64(m.OpsTotal)
+			table.Row(variant.String(), eps, 1+eps, m.MaxStructRatio, m.MaxRatioQuiescent, movesPerOp, r.Flushes())
+			key := fmt.Sprintf("%s/%g", variant, eps)
+			res.Findings[key+"/structRatio"] = m.MaxStructRatio
+			res.Findings[key+"/quiescentRatio"] = m.MaxRatioQuiescent
+			res.Findings[key+"/movesPerOp"] = movesPerOp
+		}
+	}
+	res.Text = table.String() + "\n" + strings.Join(series, "\n") +
+		"\n\nShape check: every ratio column stays below its 1+eps bound; smaller eps\ncosts more moves per op (the (1/eps)log(1/eps) trade).\n"
+	return res, nil
+}

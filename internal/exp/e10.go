@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"realloc/internal/core"
+	"realloc/internal/stats"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+// E10 runs the design-choice ablations DESIGN.md calls out: the internal
+// buffer fraction eps' trades footprint slack against move volume, and the
+// bounds must hold across qualitatively different size distributions
+// (uniform, heavy-tailed, exact powers of two).
+func E10(cfg Config) (*Result, error) {
+	res := &Result{ID: "E10", Title: "Ablations", Findings: map[string]float64{}}
+	ops := cfg.ops(15000)
+
+	// Ablation 1: eps' under fixed eps=0.25.
+	t1 := stats.NewTable("eps' (eps=0.25)", "max struct/V", "moves/op", "moved vol/op", "flushes")
+	for _, div := range []float64{2, 4, 8, 16} {
+		eps := 0.25
+		m := trace.NewMetrics()
+		r, err := core.New(core.Config{Epsilon: eps, EpsPrime: eps / div, Variant: core.Amortized, Recorder: m})
+		if err != nil {
+			return nil, err
+		}
+		churn := &workload.Churn{Seed: cfg.Seed + 10, Sizes: workload.Uniform{Min: 1, Max: 128}, TargetVolume: 30000}
+		if err := drive(r, churn, ops); err != nil {
+			return nil, err
+		}
+		movesPerOp := float64(m.MovesTotal) / float64(m.OpsTotal)
+		volPerOp := float64(m.MovedVolume) / float64(m.OpsTotal)
+		t1.Row(fmt.Sprintf("eps/%g", div), m.MaxStructRatio, movesPerOp, volPerOp, r.Flushes())
+		res.Findings[fmt.Sprintf("epsPrime/%g/structRatio", div)] = m.MaxStructRatio
+		res.Findings[fmt.Sprintf("epsPrime/%g/movedVolPerOp", div)] = volPerOp
+	}
+
+	// Ablation 2: size distributions under the default configuration.
+	t2 := stats.NewTable("distribution", "max struct/V", "ratio unit", "ratio linear", "flushes")
+	dists := []workload.SizeDist{
+		workload.Uniform{Min: 1, Max: 256},
+		workload.Pareto{Min: 1, Max: 4096, Alpha: 1.1},
+		workload.PowersOfTwo{MinExp: 0, MaxExp: 10},
+	}
+	for _, d := range dists {
+		m := trace.NewMetrics()
+		r, err := core.New(core.Config{Epsilon: 0.25, Variant: core.Amortized, Recorder: m})
+		if err != nil {
+			return nil, err
+		}
+		churn := &workload.Churn{Seed: cfg.Seed + 11, Sizes: d, TargetVolume: 40000}
+		if err := drive(r, churn, ops); err != nil {
+			return nil, err
+		}
+		t2.Row(d.Name(), m.MaxStructRatio, m.Meter.Ratio("unit"), m.Meter.Ratio("linear"), r.Flushes())
+		res.Findings["dist/"+d.Name()+"/structRatio"] = m.MaxStructRatio
+		res.Findings["dist/"+d.Name()+"/unit"] = m.Meter.Ratio("unit")
+	}
+
+	res.Text = t1.String() + "\n" + t2.String() +
+		"\nShape check: shrinking eps' tightens the footprint and raises moved\nvolume per op (the 1/eps' law); the footprint bound is insensitive to the\nsize distribution, including exact class boundaries.\n"
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"realloc/internal/btl"
+	"realloc/internal/cost"
+	"realloc/internal/stats"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+// E11 is the end-to-end database scenario that motivated the paper (§1,
+// §3.1): a block store runs a realistic block-update trace through the
+// checkpointed translation layer, with periodic system checkpoints and a
+// crash + verified recovery at the end. The trace is priced under the
+// storage-media presets: one cost-blind run serves RAM, SSD, HDD, and
+// tape models simultaneously.
+func E11(cfg Config) (*Result, error) {
+	res := &Result{ID: "E11", Title: "Database end-to-end", Findings: map[string]float64{}}
+	ops := cfg.ops(12000)
+
+	table := stats.NewTable("variant", "blocks", "updates", "footprint/V", "checkpoints", "ckpt/update", "recovery")
+	media := stats.NewTable("variant", "medium", "alloc cost", "realloc cost", "ratio")
+	for _, deam := range []bool{false, true} {
+		name := "checkpointed"
+		if deam {
+			name = "deamortized"
+		}
+		m := trace.NewMetrics(cost.MediaFamily()...)
+		store, err := btl.New(btl.Config{Epsilon: 0.25, Deamortized: deam, Recorder: m})
+		if err != nil {
+			return nil, err
+		}
+		gen := &workload.DBTrace{Seed: cfg.Seed + 11, Blocks: 400, MinBlock: 4, MaxBlock: 512}
+		// DBTrace emits delete+insert pairs for updates; route them through
+		// the store's named API to exercise the translation layer.
+		names := map[int64]string{}
+		updates := 0
+		for i := 0; i < ops; i++ {
+			op, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if op.Insert {
+				n := fmt.Sprintf("blk-%d", op.ID)
+				names[int64(op.ID)] = n
+				if err := store.Put(n, op.Size); err != nil {
+					return nil, fmt.Errorf("%s put: %w", name, err)
+				}
+			} else {
+				n := names[int64(op.ID)]
+				if err := store.Drop(n); err != nil {
+					return nil, fmt.Errorf("%s drop: %w", name, err)
+				}
+				delete(names, int64(op.ID))
+			}
+			updates++
+			if i%500 == 499 {
+				store.Checkpoint()
+			}
+		}
+		ratio := 0.0
+		if v := store.Volume(); v > 0 {
+			ratio = float64(store.Footprint()) / float64(v)
+		}
+		store.Checkpoint()
+		store.Crash()
+		rep, err := store.Recover()
+		recovery := "ok"
+		if err != nil {
+			recovery = err.Error()
+		}
+		ckptPerUpdate := float64(store.Checkpoints()) / float64(updates)
+		table.Row(name, store.Len(), updates, ratio, store.Checkpoints(), ckptPerUpdate, recovery)
+		for _, l := range m.Meter.Lines() {
+			media.Row(name, l.Func, l.AllocCost, l.ReallocCost, l.Ratio)
+			res.Findings[name+"/"+l.Func+"/ratio"] = l.Ratio
+		}
+		res.Findings[name+"/footprintRatio"] = ratio
+		res.Findings[name+"/ckptPerUpdate"] = ckptPerUpdate
+		res.Findings[name+"/recoveredOK"] = boolTo01(err == nil && len(rep.Corrupt) == 0)
+		res.Findings[name+"/recovered"] = float64(rep.Recovered)
+	}
+	res.Text = table.String() + "\n" + media.String() +
+		"\nShape check: the disk footprint stays within (1+eps) of the live block\nvolume through heavy update churn; the same cost-blind run is\nsimultaneously competitive under RAM, SSD, HDD, and tape cost models; and\nafter a crash, recovery from the durable translation map finds every\nmapped block's data intact (the checkpoint rule at work).\n"
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+
+	"realloc/internal/baseline"
+	"realloc/internal/core"
+	"realloc/internal/cost"
+	"realloc/internal/stats"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+// E12 quantifies the price of obliviousness: on a neutral churn workload,
+// how much more does the cost-oblivious allocator pay than each
+// cost-aware specialist *on the specialist's home cost function*?
+// Logging-and-compacting is the natural linear-cost strategy ((2,2) per
+// the paper); the class-gap structure is the natural unit-cost strategy
+// (O(1) amortized). The paper's theory prices obliviousness at
+// O((1/eps)·log(1/eps)) versus those constants; this experiment measures
+// the realized premium, and what the specialists pay off their home turf
+// in exchange.
+func E12(cfg Config) (*Result, error) {
+	res := &Result{ID: "E12", Title: "The price of obliviousness", Findings: map[string]float64{}}
+	ops := cfg.ops(20000)
+
+	run := func(mk func(rec trace.Recorder) workload.Target) (*trace.Metrics, error) {
+		m := trace.NewMetrics(cost.Unit(), cost.Linear())
+		t := mk(m)
+		// A sawtooth (grow to 3x, shrink to 1x, repeat) drives every
+		// contender through real compaction cycles; steady flat churn can
+		// idle below logcompact's 2V trigger indefinitely, which would
+		// flatter it with a zero reallocation cost.
+		saw := &workload.Sawtooth{
+			Seed:  cfg.Seed + 12,
+			Sizes: workload.Pareto{Min: 1, Max: 512, Alpha: 1.3},
+			Low:   int64(ops) / 2, High: int64(ops),
+		}
+		if _, err := workload.Drive(t, saw, ops); err != nil {
+			return nil, err
+		}
+		if r, ok := t.(*core.Reallocator); ok {
+			if err := r.Drain(); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+
+	table := stats.NewTable("allocator", "eps", "unit ratio", "linear ratio", "max footprint/V")
+	type row struct {
+		name string
+		eps  float64
+		mk   func(rec trace.Recorder) workload.Target
+	}
+	rows := []row{
+		{"logcompact (linear specialist)", 0, func(rec trace.Recorder) workload.Target { return baseline.NewLogCompact(rec) }},
+		{"classgap (unit specialist)", 0, func(rec trace.Recorder) workload.Target { return baseline.NewClassGap(rec) }},
+	}
+	for _, eps := range []float64{0.5, 0.25} {
+		eps := eps
+		rows = append(rows, row{"cost-oblivious", eps, func(rec trace.Recorder) workload.Target {
+			r, _ := core.New(core.Config{Epsilon: eps, Variant: core.Amortized, Recorder: rec})
+			return r
+		}})
+	}
+	ratios := map[string][2]float64{}
+	for _, rw := range rows {
+		m, err := run(rw.mk)
+		if err != nil {
+			return nil, fmt.Errorf("E12 %s: %w", rw.name, err)
+		}
+		unit, linear := m.Meter.Ratio("unit"), m.Meter.Ratio("linear")
+		epsCell := "n/a"
+		if rw.eps > 0 {
+			epsCell = stats.FormatFloat(rw.eps)
+		}
+		table.Row(rw.name, epsCell, unit, linear, m.MaxRatioSteady)
+		key := rw.name
+		if rw.eps > 0 {
+			key = fmt.Sprintf("cost-oblivious/%g", rw.eps)
+		}
+		ratios[key] = [2]float64{unit, linear}
+		res.Findings[key+"/unit"] = unit
+		res.Findings[key+"/linear"] = linear
+		res.Findings[key+"/footprint"] = m.MaxRatioSteady
+	}
+
+	// Premiums at eps=0.5 versus each specialist's home function.
+	linPremium := 0.0
+	if lc := ratios["logcompact (linear specialist)"][1]; lc > 0 {
+		linPremium = ratios["cost-oblivious/0.5"][1] / lc
+	}
+	unitPremium := 0.0
+	if cg := ratios["classgap (unit specialist)"][0]; cg > 0 {
+		unitPremium = ratios["cost-oblivious/0.5"][0] / cg
+	}
+	res.Findings["premium/linear"] = linPremium
+	res.Findings["premium/unit"] = unitPremium
+
+	res.Text = table.String() + fmt.Sprintf(
+		"\nPremium of obliviousness at eps=0.5: %.1fx vs the linear specialist on\nlinear cost, %.1fx vs the unit specialist on unit cost — the measured\nconstant behind O((1/eps)log(1/eps)). In exchange the oblivious allocator\nis the only one that is simultaneously bounded on BOTH columns with a\nguaranteed (1+eps) footprint (E3 shows each specialist failing off its\nhome function by factors that grow with delta).\n",
+		linPremium, unitPremium)
+	return res, nil
+}

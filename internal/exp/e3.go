@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/baseline"
+	"realloc/internal/core"
+	"realloc/internal/cost"
+	"realloc/internal/stats"
+	"realloc/internal/trace"
+	"realloc/internal/workload"
+)
+
+// chainStream seeds one object in each class 1..maxExp and then hammers
+// size-1 inserts: every insert into the full class 0 displaces a chain of
+// larger objects — the workload on which the class-gap strategy pays
+// Θ(log ∆) per unit volume under linear cost.
+type chainStream struct {
+	maxExp int
+	small  int
+	i      int
+	phase  int
+	nextID addrspace.ID
+}
+
+func (c *chainStream) Name() string {
+	return fmt.Sprintf("chain(maxExp=%d,small=%d)", c.maxExp, c.small)
+}
+
+func (c *chainStream) Next() (workload.Op, bool) {
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	if c.phase == 0 {
+		if c.i < c.maxExp {
+			c.i++
+			id := c.nextID
+			c.nextID++
+			return workload.Op{Insert: true, ID: id, Size: int64(1) << uint(c.i)}, true
+		}
+		c.phase, c.i = 1, 0
+	}
+	if c.i < c.small {
+		c.i++
+		id := c.nextID
+		c.nextID++
+		return workload.Op{Insert: true, ID: id, Size: 1}, true
+	}
+	return workload.Op{}, false
+}
+
+// contender pairs an allocator constructor with a name.
+type contender struct {
+	name string
+	make func(rec trace.Recorder) workload.Target
+}
+
+func contenders() []contender {
+	return []contender{
+		{"logcompact", func(rec trace.Recorder) workload.Target { return baseline.NewLogCompact(rec) }},
+		{"classgap", func(rec trace.Recorder) workload.Target { return baseline.NewClassGap(rec) }},
+		{"cost-oblivious", func(rec trace.Recorder) workload.Target {
+			r, _ := core.New(core.Config{Epsilon: 0.5, Variant: core.Amortized, Recorder: rec})
+			return r
+		}},
+	}
+}
+
+// E3 reproduces the Section 2 intuition. Two adversaries:
+//
+//   - unit-killer: delete size-∆ objects buried under size-1 objects.
+//     Logging-and-compacting must relocate Θ(∆) small objects per
+//     deletion (unit cost Θ(∆) per delete); size-classed strategies only
+//     move larger-or-equal objects and pay O(1)-ish.
+//   - linear-killer: size-1 inserts that displace a chain of one object
+//     per larger class. The class-gap strategy pays Θ(log ∆) per unit
+//     volume under linear cost; the cost-oblivious algorithm stays at its
+//     (1/eps)log(1/eps) constant under both cost functions.
+func E3(cfg Config) (*Result, error) {
+	res := &Result{ID: "E3", Title: "Baseline crossover", Findings: map[string]float64{}}
+	deltas := []int64{64, 256, 1024}
+
+	unitKiller := stats.NewTable("workload", "delta", "allocator", "unit cost / deletion", "overall unit ratio", "overall linear ratio")
+	for _, delta := range deltas {
+		for _, c := range contenders() {
+			m := trace.NewMetrics(cost.Unit(), cost.Linear())
+			t := c.make(m)
+			adv := &workload.CompactionAdversary{Delta: delta, Bigs: 4}
+			// Drive op by op, attributing moves to the requests that
+			// performed them: the paper's claim is about reallocation
+			// cost charged to deletions.
+			var movesAtDeletes, deletes int64
+			for {
+				op, ok := adv.Next()
+				if !ok {
+					break
+				}
+				before := m.MovesTotal
+				var err error
+				if op.Insert {
+					err = t.Insert(op.ID, op.Size)
+				} else {
+					err = t.Delete(op.ID)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("compaction adversary on %s: %w", c.name, err)
+				}
+				if !op.Insert {
+					deletes++
+					movesAtDeletes += m.MovesTotal - before
+				}
+			}
+			if r, ok := t.(*core.Reallocator); ok {
+				if err := r.Drain(); err != nil {
+					return nil, err
+				}
+			}
+			perDel := float64(movesAtDeletes) / float64(deletes)
+			unit, linear := m.Meter.Ratio("unit"), m.Meter.Ratio("linear")
+			unitKiller.Row("unit-killer", delta, c.name, perDel, unit, linear)
+			res.Findings[fmt.Sprintf("unitkiller/%d/%s/perDeletion", delta, c.name)] = perDel
+			res.Findings[fmt.Sprintf("unitkiller/%d/%s/unit", delta, c.name)] = unit
+			res.Findings[fmt.Sprintf("unitkiller/%d/%s/linear", delta, c.name)] = linear
+		}
+	}
+
+	linearKiller := stats.NewTable("workload", "delta", "allocator", "unit ratio", "linear ratio")
+	for _, delta := range deltas {
+		maxExp := 0
+		for d := delta; d > 1; d >>= 1 {
+			maxExp++
+		}
+		for _, c := range contenders() {
+			m := trace.NewMetrics(cost.Unit(), cost.Linear())
+			t := c.make(m)
+			// Scale the number of size-1 inserts with delta so the seeded
+			// large objects never dominate the allocation-cost
+			// denominator.
+			chain := &chainStream{maxExp: maxExp, small: cfg.ops(int(40 * delta))}
+			if _, err := workload.Drive(t, chain, 0); err != nil {
+				return nil, fmt.Errorf("chain workload on %s: %w", c.name, err)
+			}
+			if r, ok := t.(*core.Reallocator); ok {
+				if err := r.Drain(); err != nil {
+					return nil, err
+				}
+			}
+			unit, linear := m.Meter.Ratio("unit"), m.Meter.Ratio("linear")
+			linearKiller.Row("linear-killer", delta, c.name, unit, linear)
+			res.Findings[fmt.Sprintf("linearkiller/%d/%s/unit", delta, c.name)] = unit
+			res.Findings[fmt.Sprintf("linearkiller/%d/%s/linear", delta, c.name)] = linear
+		}
+	}
+
+	res.Text = unitKiller.String() + "\n" + linearKiller.String() +
+		"\nShape check: logcompact's unit cost per deletion grows ~linearly with\ndelta (it relocates every small object behind the holes); classgap's\nlinear ratio grows with log(delta) on the displacement chain; the\ncost-oblivious allocator's amortized ratios stay bounded in every cell.\n(Its per-deletion column may spike when a deletion triggers a flush that\nbuffered inserts paid for — Section 2 is amortized; the deamortized\nvariant of E7 is the per-request remedy.)\n"
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/defrag"
+	"realloc/internal/stats"
+)
+
+// fragmentedSpace builds a deterministic fragmented allocation: n objects
+// with heavy-tailed sizes, placed in random order with ⌊epsSlack·V⌋ total
+// hole volume scattered between them, so the footprint is (1+epsSlack)·V.
+func fragmentedSpace(seed uint64, n int, epsSlack float64) (*addrspace.Space, int64) {
+	rng := rand.New(rand.NewPCG(seed, 0xf4a6))
+	sizes := make([]int64, n)
+	var vol int64
+	for i := range sizes {
+		sizes[i] = 1 + rng.Int64N(64)
+		if rng.IntN(20) == 0 {
+			sizes[i] = 64 + rng.Int64N(192)
+		}
+		vol += sizes[i]
+	}
+	gapBudget := int64(epsSlack * float64(vol))
+	sp := addrspace.New(addrspace.RAM())
+	pos := int64(0)
+	for i, s := range sizes {
+		if gapBudget > 0 && rng.IntN(3) == 0 {
+			g := 1 + rng.Int64N(gapBudget/4+1)
+			if g > gapBudget {
+				g = gapBudget
+			}
+			pos += g
+			gapBudget -= g
+		}
+		if err := sp.Place(addrspace.ID(i+1), addrspace.Extent{Start: pos, Size: s}); err != nil {
+			panic(err) // deterministic construction cannot collide
+		}
+		pos += s
+	}
+	return sp, vol
+}
+
+// E5 exercises the Theorem 2.7 defragmenter: sorting a fragmented volume
+// by object ID within (1+eps)·V + ∆ space, against the naïve 2·V-space
+// defragmenter.
+func E5(cfg Config) (*Result, error) {
+	res := &Result{ID: "E5", Title: "Cost-oblivious defragmentation", Findings: map[string]float64{}}
+	n := cfg.ops(4000) / 2
+	less := func(a, b addrspace.ID) bool { return a < b }
+	table := stats.NewTable("eps", "defragmenter", "V", "space budget", "peak footprint", "peak/V", "moves/object (mean)", "moves/object (max)")
+	for _, eps := range []float64{0.5, 0.25, 0.1} {
+		sp, vol := fragmentedSpace(cfg.Seed+5, n, eps*0.9)
+		st, err := defrag.Sort(sp, less, eps)
+		if err != nil {
+			return nil, fmt.Errorf("defrag.Sort(eps=%g): %w", eps, err)
+		}
+		if err := verifySorted(sp, less); err != nil {
+			return nil, err
+		}
+		table.Row(eps, "cost-oblivious", st.Volume, st.SpaceBudget, st.PeakFootprint,
+			float64(st.PeakFootprint)/float64(vol), st.MeanMovesPerObject, st.MaxMovesPerObject)
+		res.Findings[fmt.Sprintf("%g/peakOverV", eps)] = float64(st.PeakFootprint) / float64(vol)
+		res.Findings[fmt.Sprintf("%g/meanMoves", eps)] = st.MeanMovesPerObject
+		res.Findings[fmt.Sprintf("%g/budgetOK", eps)] = boolTo01(st.PeakFootprint <= st.SpaceBudget)
+
+		nsp, nvol := fragmentedSpace(cfg.Seed+5, n, eps*0.9)
+		nst, err := defrag.NaiveSort(nsp, less)
+		if err != nil {
+			return nil, fmt.Errorf("defrag.NaiveSort: %w", err)
+		}
+		if err := verifySorted(nsp, less); err != nil {
+			return nil, err
+		}
+		table.Row(eps, "naive-2V", nst.Volume, nst.SpaceBudget, nst.PeakFootprint,
+			float64(nst.PeakFootprint)/float64(nvol), nst.MeanMovesPerObject, nst.MaxMovesPerObject)
+		res.Findings[fmt.Sprintf("%g/naivePeakOverV", eps)] = float64(nst.PeakFootprint) / float64(nvol)
+	}
+	res.Text = table.String() +
+		"\nShape check: the cost-oblivious defragmenter's peak stays within\n(1+eps)V+Delta (ratio ~1+eps) while the naive defragmenter needs ~2V; its\nprice is O((1/eps)log(1/eps)) moves per object instead of 2.\n"
+	return res, nil
+}
+
+// verifySorted checks that the space's objects are contiguously packed in
+// ascending less-order.
+func verifySorted(sp *addrspace.Space, less func(a, b addrspace.ID) bool) error {
+	var prev addrspace.ID
+	first := true
+	var err error
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		if err != nil {
+			return
+		}
+		if !first && less(id, prev) {
+			err = fmt.Errorf("defrag result out of order: %d before %d", prev, id)
+		}
+		prev = id
+		first = false
+	})
+	return err
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// E9 reproduces the paper's three figures as ASCII renderings.
+func E9(cfg Config) (*Result, error) {
+	res := &Result{ID: "E9", Title: "Figures 1-3 as ASCII renderings", Findings: map[string]float64{}}
+	var b strings.Builder
+
+	f1, before, after, err := Figure1()
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString(f1)
+	res.Findings["fig1/before"] = float64(before)
+	res.Findings["fig1/after"] = float64(after)
+
+	f2, err := Figure2()
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString(f2)
+
+	f3, err := Figure3()
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString(f3)
+
+	res.Text = b.String()
+	return res, nil
+}
+
+// Figure1 recreates the paper's Figure 1: deletions leave holes; moving
+// two blocks into the holes shrinks the footprint. It returns the
+// rendering plus the before/after footprints.
+func Figure1() (string, int64, int64, error) {
+	var b strings.Builder
+	b.WriteString("Figure 1: moving previously allocated blocks into holes left by\ndeallocations reduces the storage footprint.\n\n")
+	sp := addrspace.New(addrspace.RAM())
+	sizes := []int64{10, 8, 6, 8, 6, 4}
+	pos := int64(0)
+	for i, s := range sizes {
+		if err := sp.Place(addrspace.ID(i+1), addrspace.Extent{Start: pos, Size: s}); err != nil {
+			return "", 0, 0, err
+		}
+		pos += s
+	}
+	// Delete two middle blocks, leaving holes (the figure's top row).
+	_ = sp.Remove(2)
+	_ = sp.Remove(4)
+	before := sp.MaxEnd()
+	b.WriteString("  before: ")
+	b.WriteString(RenderSpace(sp, 63))
+	// Move the trailing blocks (the figure's A and B) into the holes.
+	if err := sp.Move(5, 10); err != nil { // size-6 block into the first hole
+		return "", 0, 0, err
+	}
+	if err := sp.Move(6, 24); err != nil { // size-4 block into the second hole
+		return "", 0, 0, err
+	}
+	after := sp.MaxEnd()
+	b.WriteString("  after:  ")
+	b.WriteString(RenderSpace(sp, 63))
+	fmt.Fprintf(&b, "  footprint: %d -> %d\n\n", before, after)
+	return b.String(), before, after, nil
+}
+
+// Figure2 recreates Figure 2: the region layout — payload segments (P)
+// with their buffer segments (b = buffered objects, _ = free buffer
+// capacity) in increasing size-class order.
+func Figure2() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 2: the data structure layout: per size class a payload segment\n(P) followed by a buffer segment (b=filled, _=free), eps'=1/2.\n\n")
+	r, err := core.New(core.Config{Epsilon: 1, EpsPrime: 0.5, Variant: core.Amortized})
+	if err != nil {
+		return "", err
+	}
+	id := addrspace.ID(1)
+	add := func(size int64, n int) {
+		for i := 0; i < n; i++ {
+			if e := r.Insert(id, size); e != nil {
+				err = e
+			}
+			id++
+		}
+	}
+	add(2, 4)  // class 1
+	add(5, 3)  // class 2
+	add(12, 2) // class 3
+	add(25, 2) // class 4
+	if err != nil {
+		return "", err
+	}
+	// A few buffered inserts so the buffers show fill.
+	add(2, 1)
+	add(6, 1)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderLayout(r, 72))
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// Figure3 recreates Figure 3: a step-by-step buffer flush triggered by an
+// insert, showing the event sequence and the layout before and after.
+func Figure3() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 3: a buffer flush, triggered when an insert finds no buffer\nspace: buffered objects evacuate to the overflow segment, payloads\ncompact, boundaries move, everything returns to its payload.\n\n")
+	log := &trace.Log{}
+	r, err := core.New(core.Config{Epsilon: 1, EpsPrime: 0.5, Variant: core.Amortized, Recorder: log})
+	if err != nil {
+		return "", err
+	}
+	// Small structure with nearly full buffers.
+	seq := []int64{4, 4, 9, 9, 4, 5}
+	for i, s := range seq {
+		if err := r.Insert(addrspace.ID(i+1), s); err != nil {
+			return "", err
+		}
+	}
+	if err := r.Delete(2); err != nil {
+		return "", err
+	}
+	b.WriteString("  before the triggering insert:\n")
+	b.WriteString(indent(RenderLayout(r, 72), "  "))
+	mark := len(log.Events)
+	if err := r.Insert(99, 5); err != nil {
+		return "", err
+	}
+	b.WriteString("\n  insert of a size-5 object triggers the flush; moves executed:\n")
+	step := 1
+	for _, e := range log.Events[mark:] {
+		switch e.Kind {
+		case trace.KFlushStart:
+			fmt.Fprintf(&b, "   flush begins (boundary class %d)\n", e.From)
+		case trace.KMove:
+			fmt.Fprintf(&b, "   %2d. move object %d (size %d): %d -> %d\n", step, e.ID, e.Size, e.From, e.To)
+			step++
+		case trace.KInsert:
+			fmt.Fprintf(&b, "   %2d. place new object %d (size %d) at %d\n", step, e.ID, e.Size, e.To)
+			step++
+		case trace.KFlushEnd:
+			fmt.Fprintf(&b, "   flush ends (moved volume %d)\n", e.Size)
+		}
+	}
+	b.WriteString("\n  after:\n")
+	b.WriteString(indent(RenderLayout(r, 72), "  "))
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+)
+
+// RenderSpace draws the objects of a space as labelled ASCII blocks on one
+// line, compressing addresses to width columns. Free cells render as '.'.
+func RenderSpace(sp *addrspace.Space, width int) string {
+	span := sp.MaxEnd()
+	if span == 0 {
+		return "(empty)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	row := []byte(strings.Repeat(".", width))
+	type seg struct {
+		id  addrspace.ID
+		ext addrspace.Extent
+	}
+	var segs []seg
+	sp.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		segs = append(segs, seg{id, ext})
+	})
+	sort.Slice(segs, func(i, j int) bool { return segs[i].ext.Start < segs[j].ext.Start })
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	for n, s := range segs {
+		lo := int(s.ext.Start * int64(width) / span)
+		hi := int(s.ext.End() * int64(width) / span)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		ch := letters[n%len(letters)]
+		for i := lo; i < hi && i < width; i++ {
+			row[i] = ch
+		}
+	}
+	return fmt.Sprintf("|%s| footprint=%d\n", string(row), span)
+}
+
+// RenderLayout draws a reallocator's region structure: payload segments as
+// 'P', buffered cells as 'b', empty buffer capacity as '_'.
+func RenderLayout(r *core.Reallocator, width int) string {
+	segs := r.Layout()
+	if len(segs) == 0 {
+		return "(empty)\n"
+	}
+	span := r.StructSize()
+	if span == 0 {
+		return "(empty)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	row := []byte(strings.Repeat(" ", width))
+	mark := func(lo64, hi64 int64, ch byte) {
+		lo := int(lo64 * int64(width) / span)
+		hi := int(hi64 * int64(width) / span)
+		if hi <= lo && hi64 > lo64 {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			row[i] = ch
+		}
+	}
+	var legend strings.Builder
+	for _, s := range segs {
+		if s.Tail {
+			mark(s.BufStart, s.BufStart+s.BufFill, 't')
+			mark(s.BufStart+s.BufFill, s.BufStart+s.BufSize, '_')
+			fmt.Fprintf(&legend, "  tail buffer: [%d,%d) fill=%d\n", s.BufStart, s.BufStart+s.BufSize, s.BufFill)
+			continue
+		}
+		mark(s.PayStart, s.PayStart+s.PaySize, 'P')
+		mark(s.BufStart, s.BufStart+s.BufFill, 'b')
+		mark(s.BufStart+s.BufFill, s.BufStart+s.BufSize, '_')
+		fmt.Fprintf(&legend, "  class %d (sizes %d..%d): payload [%d,%d) live=%d, buffer [%d,%d) fill=%d\n",
+			s.Class, core.ClassMin(s.Class), core.ClassMax(s.Class),
+			s.PayStart, s.PayStart+s.PaySize, s.PayLive,
+			s.BufStart, s.BufStart+s.BufSize, s.BufFill)
+	}
+	return fmt.Sprintf("|%s| struct=%d\n%s", string(row), span, legend.String())
+}

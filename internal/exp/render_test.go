@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+)
+
+func TestRenderSpace(t *testing.T) {
+	sp := addrspace.New(addrspace.RAM())
+	if got := RenderSpace(sp, 40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty render: %q", got)
+	}
+	_ = sp.Place(1, addrspace.Extent{Start: 0, Size: 10})
+	_ = sp.Place(2, addrspace.Extent{Start: 20, Size: 20})
+	out := RenderSpace(sp, 40)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("missing blocks: %q", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatalf("missing free space: %q", out)
+	}
+	if !strings.Contains(out, "footprint=40") {
+		t.Fatalf("missing footprint: %q", out)
+	}
+	// A appears before B and the hole sits between them.
+	ai, bi := strings.Index(out, "A"), strings.Index(out, "B")
+	if ai >= bi {
+		t.Fatalf("block order wrong: %q", out)
+	}
+}
+
+func TestRenderLayout(t *testing.T) {
+	r := core.MustNew(core.Config{Epsilon: 1, EpsPrime: 0.5, Variant: core.Amortized})
+	if got := RenderLayout(r, 40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty render: %q", got)
+	}
+	_ = r.Insert(1, 8)
+	_ = r.Insert(2, 2) // lands in the class-3 buffer
+	out := RenderLayout(r, 60)
+	for _, want := range []string{"P", "b", "_", "class 3", "payload", "buffer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFiguresAreDeterministic: figure reproductions must render the exact
+// same text on every run (they seed nothing and iterate nothing
+// map-ordered).
+func TestFiguresAreDeterministic(t *testing.T) {
+	f1a, b1, a1, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1b, b2, a2, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1a != f1b || b1 != b2 || a1 != a2 {
+		t.Fatal("Figure1 not deterministic")
+	}
+	f2a, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2b, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2a != f2b {
+		t.Fatal("Figure2 not deterministic")
+	}
+	f3a, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3b, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3a != f3b {
+		t.Fatal("Figure3 not deterministic")
+	}
+}
+
+// TestFigure3ShowsFullFlushCycle pins the structural content of the flush
+// walkthrough: a boundary, at least four moves, a placement, and empty
+// buffers afterwards.
+func TestFigure3ShowsFullFlushCycle(t *testing.T) {
+	out, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"flush begins (boundary class",
+		"move object",
+		"place new object 99",
+		"flush ends",
+		"fill=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 3 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "move object") < 4 {
+		t.Fatalf("figure 3 shows too few moves:\n%s", out)
+	}
+}

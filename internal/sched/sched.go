@@ -1,0 +1,108 @@
+// Package sched realizes the paper's scheduling interpretation of storage
+// reallocation: the problem 1|f(w) realloc|Cmax. Jobs arrive and depart
+// online; the planner maintains a uniprocessor schedule (each job owns a
+// time interval) whose makespan stays within (1+ε) of the total work,
+// while the cost of rescheduling jobs — f(w) to move a length-w job —
+// remains within O((1/ε)log(1/ε)) of the cost of scheduling each job once,
+// for every subadditive f simultaneously.
+//
+// Time intervals are the reallocator's address extents; the makespan is
+// the footprint.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// JobID names a job.
+type JobID = addrspace.ID
+
+// Planner maintains the schedule.
+type Planner struct {
+	r *core.Reallocator
+}
+
+// New creates a planner with makespan slack eps.
+func New(eps float64, rec trace.Recorder) (*Planner, error) {
+	r, err := core.New(core.Config{Epsilon: eps, Variant: core.Amortized, Recorder: rec})
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{r: r}, nil
+}
+
+// AddJob schedules a job of the given length.
+func (p *Planner) AddJob(id JobID, length int64) error {
+	return p.r.Insert(id, length)
+}
+
+// RemoveJob unschedules a job.
+func (p *Planner) RemoveJob(id JobID) error {
+	return p.r.Delete(id)
+}
+
+// Interval returns the job's scheduled [start, end) time interval.
+func (p *Planner) Interval(id JobID) (start, end int64, ok bool) {
+	ext, ok := p.r.Extent(id)
+	if !ok {
+		return 0, 0, false
+	}
+	return ext.Start, ext.End(), true
+}
+
+// Makespan returns the latest completion time of any job.
+func (p *Planner) Makespan() int64 { return p.r.Footprint() }
+
+// TotalWork returns the sum of live job lengths — the makespan lower
+// bound.
+func (p *Planner) TotalWork() int64 { return p.r.Volume() }
+
+// Jobs returns the number of scheduled jobs.
+func (p *Planner) Jobs() int { return p.r.Len() }
+
+// Gantt renders the schedule as an ASCII chart, one row per job in start
+// order, compressed to the given width.
+func (p *Planner) Gantt(width int) string {
+	type row struct {
+		id  JobID
+		ext addrspace.Extent
+	}
+	var rows []row
+	p.r.ForEach(func(id addrspace.ID, ext addrspace.Extent) {
+		rows = append(rows, row{id, ext})
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ext.Start < rows[j].ext.Start })
+	span := p.Makespan()
+	if span == 0 || width <= 0 {
+		return "(empty schedule)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan=%d work=%d jobs=%d\n", span, p.TotalWork(), len(rows))
+	for _, r := range rows {
+		lo := int(r.ext.Start * int64(width) / span)
+		hi := int(r.ext.End() * int64(width) / span)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		fmt.Fprintf(&b, "job %-6d |%s%s%s| [%d,%d)\n",
+			r.id,
+			strings.Repeat(".", lo),
+			strings.Repeat("#", hi-lo),
+			strings.Repeat(".", max(0, width-hi)),
+			r.ext.Start, r.ext.End())
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

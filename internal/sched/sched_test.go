@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestAddRemoveAndIntervals(t *testing.T) {
+	p, err := New(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddJob(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddJob(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	s1, e1, ok := p.Interval(1)
+	if !ok || e1-s1 != 10 {
+		t.Fatalf("job 1 interval [%d,%d) ok=%v", s1, e1, ok)
+	}
+	if _, _, ok := p.Interval(99); ok {
+		t.Fatal("phantom job")
+	}
+	if p.TotalWork() != 30 || p.Jobs() != 2 {
+		t.Fatalf("work=%d jobs=%d", p.TotalWork(), p.Jobs())
+	}
+	if p.Makespan() < 30 {
+		t.Fatalf("makespan %d below total work", p.Makespan())
+	}
+	if err := p.RemoveJob(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveJob(1); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+// TestJobsNeverOverlap: a uniprocessor runs one job at a time.
+func TestJobsNeverOverlap(t *testing.T) {
+	p, err := New(0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	live := []JobID{}
+	next := JobID(1)
+	for op := 0; op < 2000; op++ {
+		if len(live) == 0 || rng.IntN(2) == 0 {
+			if err := p.AddJob(next, 1+rng.Int64N(50)); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, next)
+			next++
+		} else {
+			i := rng.IntN(len(live))
+			if err := p.RemoveJob(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		// Disjointness is enforced by the substrate; re-verify the
+		// makespan bound at request boundaries.
+		if w := p.TotalWork(); w > 0 {
+			if r := float64(p.Makespan()) / float64(w); r > 1.5+0.01 {
+				t.Fatalf("op %d: makespan ratio %v", op, r)
+			}
+		}
+	}
+}
+
+func TestMakespanBoundTight(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.25, 0.1} {
+		p, err := New(eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(2, uint64(eps*100)))
+		next := JobID(1)
+		live := []JobID{}
+		worst := 0.0
+		for op := 0; op < 3000; op++ {
+			if len(live) < 50 || rng.IntN(2) == 0 {
+				if err := p.AddJob(next, 1+rng.Int64N(30)); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, next)
+				next++
+			} else {
+				i := rng.IntN(len(live))
+				if err := p.RemoveJob(live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if w := p.TotalWork(); w > 0 {
+				if r := float64(p.Makespan()) / float64(w); r > worst {
+					worst = r
+				}
+			}
+		}
+		if worst > 1+eps+0.02 {
+			t.Errorf("eps=%v: worst makespan ratio %v", eps, worst)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	p, err := New(0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Gantt(40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty gantt: %q", got)
+	}
+	_ = p.AddJob(1, 10)
+	_ = p.AddJob(2, 5)
+	out := p.Gantt(40)
+	if !strings.Contains(out, "job 1") || !strings.Contains(out, "job 2") {
+		t.Fatalf("gantt missing jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("gantt missing bars:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan=") {
+		t.Fatalf("gantt missing header:\n%s", out)
+	}
+}

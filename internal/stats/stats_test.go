@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v", w.Var())
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %v", w.Std())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naive := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(naive))
+		return math.Abs(w.Var()-naive)/scale < 1e-6 && math.Abs(w.Mean()-mean) < 1e-6*math.Max(1, math.Abs(mean))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {-5, 1}, {120, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1024} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	b := h.Buckets()
+	// 0 and 1 -> bucket 0; 2,3 -> bucket 1; 4,7 -> bucket 2; 8 -> 3; 1024 -> 10.
+	if b[0] != 2 || b[1] != 2 || b[2] != 2 || b[3] != 1 || b[10] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatal("histogram render missing bars")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("name", "value", "note")
+	tbl.Row("alpha", 3.14159, "first")
+	tbl.Row("a-much-longer-name", 42.0, "second")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header/rule malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float formatting: %s", out)
+	}
+	if !strings.Contains(out, "42") || strings.Contains(out, "42.000") {
+		t.Fatalf("integral float should drop decimals: %s", out)
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	idx0 := strings.Index(lines[2], "3.142")
+	idx1 := strings.Index(lines[3], "42")
+	if idx0 != idx1 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"}, {1.5, "1.500"}, {1234.5678, "1234.6"}, {0.001, "0.001"}, {-3, "-3"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("width = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[7] {
+		t.Fatalf("sparkline not increasing: %q", s)
+	}
+	// Downsampling long input.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := len([]rune(Sparkline(long, 20))); got != 20 {
+		t.Fatalf("downsampled width = %d", got)
+	}
+	// Flat input renders the lowest level everywhere.
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat sparkline = %q", flat)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package trace
+
+import "realloc/internal/cost"
+
+// Metrics aggregates the event stream into the quantities the paper's
+// theorems bound: footprint competitive ratio (steady-state and transient),
+// reallocation-cost competitive ratio per cost function, worst-case per-op
+// reallocation, and checkpoints per flush.
+type Metrics struct {
+	Meter *cost.Meter
+
+	Inserts int64
+	Deletes int64
+	// MovesTotal and MovedVolume cover reallocations only (not initial
+	// placements).
+	MovesTotal  int64
+	MovedVolume int64
+
+	// MaxRatioSteady is max over completed ops of footprint/volume.
+	// MaxRatioQuiescent restricts that to ops completing with no flush in
+	// progress (the case Lemma 3.5 bounds by (1+O(ε'))·V with no additive
+	// term). MaxRatioTransient also samples after every individual move,
+	// catching mid-flush peaks (Lemma 3.1 territory).
+	MaxRatioSteady    float64
+	MaxRatioQuiescent float64
+	MaxRatioTransient float64
+	// MaxStructRatio is like MaxRatioSteady but uses the structure size
+	// (payloads + buffers, including empty buffer space) rather than the
+	// largest allocated address; it is the conservative bound Lemma 2.5
+	// actually proves.
+	MaxStructRatio float64
+	// MaxAdditiveSlack is max over events of footprint - ratioBase*volume,
+	// used to verify the "+Delta" additive terms of Section 3. Populated
+	// only when RatioBase > 0.
+	RatioBase        float64
+	MaxAdditiveSlack int64
+
+	// Flush statistics.
+	Flushes             int64
+	MaxCheckpointsPerOp int64
+	MaxCheckpointsFlush int64
+	CheckpointsTotal    int64
+	MaxFlushMovedVolume int64
+	// MaxFlushArrivalFrac is the largest (update volume arriving while a
+	// flush was in progress) / (volume at flush start) — the quantity
+	// Lemma 3.4 bounds by ε' for the deamortized variant.
+	MaxFlushArrivalFrac  float64
+	curFlushCheckpoints  int64
+	curFlushStartVol     int64
+	curFlushArrived      int64
+	curOpCheckpoints     int64
+	inFlush              bool
+	MaxOpMovedVolume     int64
+	curOpMovedVolume     int64
+	MaxOpMoves           int64
+	curOpMoves           int64
+	OpsTotal             int64
+	FinalFootprint       int64
+	FinalVolume          int64
+	MaxFootprintObserved int64
+
+	// Series samples (volume, footprint) every SampleEvery completed ops
+	// when SampleEvery > 0.
+	SampleEvery int
+	Series      []Sample
+	opsSinceSmp int
+}
+
+// Sample is one footprint-series point.
+type Sample struct {
+	Op        int64
+	Volume    int64
+	Footprint int64
+}
+
+// NewMetrics creates a Metrics recorder pricing the given cost family
+// (cost.StandardFamily when empty).
+func NewMetrics(funcs ...cost.Func) *Metrics {
+	return &Metrics{Meter: cost.NewMeter(funcs...)}
+}
+
+// Record implements Recorder.
+func (m *Metrics) Record(e Event) {
+	switch e.Kind {
+	case KInsert:
+		m.Inserts++
+		m.Meter.Alloc(e.Size)
+		if m.inFlush {
+			m.curFlushArrived += e.Size
+		}
+		m.noteTransient(e.Footprint, e.Volume)
+	case KDelete:
+		m.Deletes++
+		if m.inFlush {
+			m.curFlushArrived += e.Size
+		}
+		m.noteTransient(e.Footprint, e.Volume)
+	case KMove:
+		m.MovesTotal++
+		m.MovedVolume += e.Size
+		m.curOpMovedVolume += e.Size
+		m.curOpMoves++
+		m.Meter.Move(e.Size)
+		m.noteTransient(e.Footprint, e.Volume)
+	case KCheckpoint:
+		m.CheckpointsTotal++
+		m.curOpCheckpoints++
+		if m.inFlush {
+			m.curFlushCheckpoints++
+		}
+	case KFlushStart:
+		m.Flushes++
+		m.inFlush = true
+		m.curFlushCheckpoints = 0
+		m.curFlushStartVol = e.Volume
+		m.curFlushArrived = 0
+	case KFlushEnd:
+		m.inFlush = false
+		if m.curFlushCheckpoints > m.MaxCheckpointsFlush {
+			m.MaxCheckpointsFlush = m.curFlushCheckpoints
+		}
+		if e.Size > m.MaxFlushMovedVolume {
+			m.MaxFlushMovedVolume = e.Size
+		}
+		if m.curFlushStartVol > 0 {
+			if f := float64(m.curFlushArrived) / float64(m.curFlushStartVol); f > m.MaxFlushArrivalFrac {
+				m.MaxFlushArrivalFrac = f
+			}
+		}
+	case KOpEnd:
+		m.OpsTotal++
+		m.Meter.EndOp()
+		if m.curOpMovedVolume > m.MaxOpMovedVolume {
+			m.MaxOpMovedVolume = m.curOpMovedVolume
+		}
+		if m.curOpMoves > m.MaxOpMoves {
+			m.MaxOpMoves = m.curOpMoves
+		}
+		if m.curOpCheckpoints > m.MaxCheckpointsPerOp {
+			m.MaxCheckpointsPerOp = m.curOpCheckpoints
+		}
+		m.curOpMovedVolume = 0
+		m.curOpMoves = 0
+		m.curOpCheckpoints = 0
+		m.FinalFootprint = e.Footprint
+		m.FinalVolume = e.Volume
+		if e.Volume > 0 {
+			if r := float64(e.Footprint) / float64(e.Volume); r > m.MaxRatioSteady {
+				m.MaxRatioSteady = r
+			}
+			if e.From > 0 {
+				// From carries the structure size only for quiescent ops.
+				if r := float64(e.From) / float64(e.Volume); r > m.MaxStructRatio {
+					m.MaxStructRatio = r
+				}
+				if r := float64(e.Footprint) / float64(e.Volume); r > m.MaxRatioQuiescent {
+					m.MaxRatioQuiescent = r
+				}
+			}
+		}
+		m.noteTransient(e.Footprint, e.Volume)
+		if m.SampleEvery > 0 {
+			m.opsSinceSmp++
+			if m.opsSinceSmp >= m.SampleEvery {
+				m.opsSinceSmp = 0
+				m.Series = append(m.Series, Sample{Op: m.OpsTotal, Volume: e.Volume, Footprint: e.Footprint})
+			}
+		}
+	}
+}
+
+func (m *Metrics) noteTransient(footprint, volume int64) {
+	if footprint > m.MaxFootprintObserved {
+		m.MaxFootprintObserved = footprint
+	}
+	if volume > 0 && footprint > 0 {
+		if r := float64(footprint) / float64(volume); r > m.MaxRatioTransient {
+			m.MaxRatioTransient = r
+		}
+		if m.RatioBase > 0 {
+			if slack := footprint - int64(m.RatioBase*float64(volume)); slack > m.MaxAdditiveSlack {
+				m.MaxAdditiveSlack = slack
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package trace defines the event stream a reallocator emits and the
+// recorders that consume it.
+//
+// The reallocation algorithms never compute costs themselves — they are
+// cost oblivious. They emit placement events; recorders turn the stream
+// into competitive-ratio measurements (via cost.Meter), footprint series,
+// checkpoint counts, and full logs for visualization and tests.
+package trace
+
+// Kind enumerates event types.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KInsert records the initial allocation of an object.
+	KInsert Kind = iota
+	// KDelete records the completion of a delete request.
+	KDelete
+	// KMove records a reallocation of a live object.
+	KMove
+	// KCheckpoint records the algorithm blocking on (and receiving) a
+	// checkpoint.
+	KCheckpoint
+	// KFlushStart/KFlushEnd bracket a buffer flush.
+	KFlushStart
+	KFlushEnd
+	// KOpEnd closes an insert/delete request; carries post-op footprint
+	// and volume for steady-state bound checks.
+	KOpEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInsert:
+		return "insert"
+	case KDelete:
+		return "delete"
+	case KMove:
+		return "move"
+	case KCheckpoint:
+		return "checkpoint"
+	case KFlushStart:
+		return "flush-start"
+	case KFlushEnd:
+		return "flush-end"
+	case KOpEnd:
+		return "op-end"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one element of the stream. Field use depends on Kind:
+//
+//	KInsert:     ID, Size, To (placement address), Footprint, Volume
+//	KDelete:     ID, Size, Footprint, Volume
+//	KMove:       ID, Size, From, To, Footprint, Volume (footprint after move)
+//	KCheckpoint: Footprint, Volume
+//	KFlushStart: From (boundary class), Volume
+//	KFlushEnd:   Size (volume moved by the flush)
+//	KOpEnd:      Footprint, Volume, From (structure size incl. empty buffers)
+type Event struct {
+	Kind      Kind
+	ID        int64
+	Size      int64
+	From, To  int64
+	Footprint int64
+	Volume    int64
+}
+
+// Recorder consumes the event stream.
+type Recorder interface {
+	Record(Event)
+}
+
+// Null discards all events; use it in throughput benchmarks.
+type Null struct{}
+
+// Record implements Recorder.
+func (Null) Record(Event) {}
+
+// Multi tees the stream to several recorders.
+type Multi []Recorder
+
+// Record implements Recorder.
+func (m Multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// Log captures the full event stream (tests, visualization).
+type Log struct {
+	Events []Event
+}
+
+// Record implements Recorder.
+func (l *Log) Record(e Event) { l.Events = append(l.Events, e) }
+
+// MovesByID returns how many times each object moved.
+func (l *Log) MovesByID() map[int64]int {
+	out := make(map[int64]int)
+	for _, e := range l.Events {
+		if e.Kind == KMove {
+			out[e.ID]++
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of kind k.
+func (l *Log) Count(k Kind) int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+
+	"realloc/internal/cost"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KInsert, KDelete, KMove, KCheckpoint, KFlushStart, KFlushEnd, KOpEnd, Kind(99)}
+	want := []string{"insert", "delete", "move", "checkpoint", "flush-start", "flush-end", "op-end", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestLogRecorder(t *testing.T) {
+	l := &Log{}
+	l.Record(Event{Kind: KInsert, ID: 1, Size: 5})
+	l.Record(Event{Kind: KMove, ID: 1, Size: 5, From: 0, To: 10})
+	l.Record(Event{Kind: KMove, ID: 1, Size: 5, From: 10, To: 20})
+	l.Record(Event{Kind: KMove, ID: 2, Size: 3, From: 5, To: 30})
+	l.Record(Event{Kind: KDelete, ID: 2, Size: 3})
+	if l.Count(KMove) != 3 || l.Count(KInsert) != 1 {
+		t.Fatalf("counts: moves=%d inserts=%d", l.Count(KMove), l.Count(KInsert))
+	}
+	m := l.MovesByID()
+	if m[1] != 2 || m[2] != 1 {
+		t.Fatalf("MovesByID = %v", m)
+	}
+}
+
+func TestMultiRecorder(t *testing.T) {
+	a, b := &Log{}, &Log{}
+	multi := Multi{a, b}
+	multi.Record(Event{Kind: KInsert, ID: 7})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+	Null{}.Record(Event{Kind: KInsert}) // must not panic
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics(cost.Unit(), cost.Linear())
+	// Op 1: insert size 10 at footprint 10, volume 10.
+	m.Record(Event{Kind: KInsert, ID: 1, Size: 10, Footprint: 10, Volume: 10})
+	m.Record(Event{Kind: KOpEnd, Footprint: 10, Volume: 10, From: 10})
+	// Op 2: insert that triggers a flush with two moves and a checkpoint.
+	m.Record(Event{Kind: KFlushStart, From: 0, Volume: 14})
+	m.Record(Event{Kind: KMove, ID: 1, Size: 10, From: 0, To: 20, Footprint: 30, Volume: 14})
+	m.Record(Event{Kind: KCheckpoint})
+	m.Record(Event{Kind: KMove, ID: 1, Size: 10, From: 20, To: 4, Footprint: 14, Volume: 14})
+	m.Record(Event{Kind: KFlushEnd, Size: 20})
+	m.Record(Event{Kind: KInsert, ID: 2, Size: 4, Footprint: 14, Volume: 14})
+	m.Record(Event{Kind: KOpEnd, Footprint: 14, Volume: 14, From: 14})
+	// Op 3: delete.
+	m.Record(Event{Kind: KDelete, ID: 1, Size: 10, Footprint: 14, Volume: 4})
+	m.Record(Event{Kind: KOpEnd, Footprint: 14, Volume: 4, From: 14})
+
+	if m.Inserts != 2 || m.Deletes != 1 || m.MovesTotal != 2 {
+		t.Fatalf("counts: %d %d %d", m.Inserts, m.Deletes, m.MovesTotal)
+	}
+	if m.MovedVolume != 20 {
+		t.Fatalf("moved volume = %d", m.MovedVolume)
+	}
+	if m.Flushes != 1 || m.CheckpointsTotal != 1 || m.MaxCheckpointsFlush != 1 {
+		t.Fatalf("flush stats: %d %d %d", m.Flushes, m.CheckpointsTotal, m.MaxCheckpointsFlush)
+	}
+	if m.MaxFlushMovedVolume != 20 {
+		t.Fatalf("max flush volume = %d", m.MaxFlushMovedVolume)
+	}
+	if m.MaxOpMovedVolume != 20 || m.MaxOpMoves != 2 {
+		t.Fatalf("op stats: %d %d", m.MaxOpMovedVolume, m.MaxOpMoves)
+	}
+	// Transient ratio peaked at 30/14 during the flush.
+	if want := 30.0 / 14; m.MaxRatioTransient < want-1e-9 {
+		t.Fatalf("transient ratio = %v, want >= %v", m.MaxRatioTransient, want)
+	}
+	// Steady ratio: max(10/10, 14/14, 14/4) = 3.5.
+	if m.MaxRatioSteady != 3.5 || m.MaxRatioQuiescent != 3.5 {
+		t.Fatalf("steady=%v quiescent=%v", m.MaxRatioSteady, m.MaxRatioQuiescent)
+	}
+	if m.FinalFootprint != 14 || m.FinalVolume != 4 {
+		t.Fatalf("final: %d %d", m.FinalFootprint, m.FinalVolume)
+	}
+	if m.OpsTotal != 3 {
+		t.Fatalf("ops = %d", m.OpsTotal)
+	}
+	// Unit meter: 2 allocs, 2 moves -> ratio 1.
+	if got := m.Meter.Ratio("unit"); got != 1 {
+		t.Fatalf("unit ratio = %v", got)
+	}
+}
+
+func TestMetricsQuiescentVsMidFlush(t *testing.T) {
+	m := NewMetrics(cost.Unit())
+	// Mid-flush op end: From == 0 marks it; quiescent ratio must ignore it.
+	m.Record(Event{Kind: KOpEnd, Footprint: 100, Volume: 10, From: 0})
+	if m.MaxRatioQuiescent != 0 {
+		t.Fatalf("quiescent ratio should ignore mid-flush ops, got %v", m.MaxRatioQuiescent)
+	}
+	if m.MaxRatioSteady != 10 {
+		t.Fatalf("steady ratio = %v", m.MaxRatioSteady)
+	}
+}
+
+func TestMetricsAdditiveSlack(t *testing.T) {
+	m := NewMetrics(cost.Unit())
+	m.RatioBase = 1.5
+	m.Record(Event{Kind: KMove, ID: 1, Size: 5, Footprint: 130, Volume: 80})
+	// slack = 130 - 1.5*80 = 10.
+	if m.MaxAdditiveSlack != 10 {
+		t.Fatalf("slack = %d", m.MaxAdditiveSlack)
+	}
+}
+
+func TestMetricsSeries(t *testing.T) {
+	m := NewMetrics(cost.Unit())
+	m.SampleEvery = 2
+	for i := 1; i <= 10; i++ {
+		m.Record(Event{Kind: KOpEnd, Footprint: int64(i * 2), Volume: int64(i), From: int64(i * 2)})
+	}
+	if len(m.Series) != 5 {
+		t.Fatalf("series length = %d", len(m.Series))
+	}
+	if m.Series[0].Op != 2 || m.Series[4].Op != 10 {
+		t.Fatalf("series ops: %+v", m.Series)
+	}
+}
+
+func TestMetricsPerOpCheckpoints(t *testing.T) {
+	m := NewMetrics(cost.Unit())
+	m.Record(Event{Kind: KCheckpoint})
+	m.Record(Event{Kind: KCheckpoint})
+	m.Record(Event{Kind: KOpEnd, Footprint: 1, Volume: 1, From: 1})
+	m.Record(Event{Kind: KCheckpoint})
+	m.Record(Event{Kind: KOpEnd, Footprint: 1, Volume: 1, From: 1})
+	if m.MaxCheckpointsPerOp != 2 {
+		t.Fatalf("max per-op checkpoints = %d", m.MaxCheckpointsPerOp)
+	}
+	if m.CheckpointsTotal != 3 {
+		t.Fatalf("total = %d", m.CheckpointsTotal)
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+
+	"realloc/internal/addrspace"
+)
+
+// LowerBound is the explicit Lemma 3.7 adversary: insert one size-Delta
+// object, then Delta size-1 objects, then delete the large one. Any
+// algorithm maintaining a (3/2)·V footprint pays Ω(f(Delta)) on some
+// single request of this sequence.
+type LowerBound struct {
+	Delta int64
+
+	phase  int
+	i      int64
+	nextID addrspace.ID
+}
+
+// Name implements Stream.
+func (l *LowerBound) Name() string { return fmt.Sprintf("lowerbound(delta=%d)", l.Delta) }
+
+// Next implements Stream.
+func (l *LowerBound) Next() (Op, bool) {
+	switch l.phase {
+	case 0:
+		l.phase = 1
+		l.nextID = 2
+		return Op{Insert: true, ID: 1, Size: l.Delta}, true
+	case 1:
+		if l.i < l.Delta {
+			l.i++
+			id := l.nextID
+			l.nextID++
+			return Op{Insert: true, ID: id, Size: 1}, true
+		}
+		l.phase = 2
+		return Op{ID: 1, Size: l.Delta}, true
+	default:
+		return Op{}, false
+	}
+}
+
+// CompactionAdversary realizes the paper's Section 2 intuition that
+// logging-and-compacting pays amortized Θ(∆) reallocation cost per
+// deletion under unit cost: insert Bigs size-Delta objects, then
+// Bigs·Delta size-1 objects (which land after the big ones in any
+// log-structured layout), then delete the big objects. Restoring the
+// footprint requires relocating Θ(Bigs·Delta) small objects — Θ(∆) unit
+// cost per deletion — whereas a size-classed reallocator only ever moves
+// objects at least as large as the deleted ones.
+type CompactionAdversary struct {
+	Delta int64
+	Bigs  int
+
+	phase  int
+	i      int64
+	nextID addrspace.ID
+}
+
+// Name implements Stream.
+func (c *CompactionAdversary) Name() string {
+	return fmt.Sprintf("compaction-adversary(delta=%d,bigs=%d)", c.Delta, c.Bigs)
+}
+
+// Deletes returns how many delete requests the stream issues.
+func (c *CompactionAdversary) Deletes() int { return c.Bigs }
+
+// Next implements Stream.
+func (c *CompactionAdversary) Next() (Op, bool) {
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	switch c.phase {
+	case 0: // the big objects
+		if c.i < int64(c.Bigs) {
+			c.i++
+			id := c.nextID
+			c.nextID++
+			return Op{Insert: true, ID: id, Size: c.Delta}, true
+		}
+		c.phase, c.i = 1, 0
+		fallthrough
+	case 1: // the small objects, placed after every big one
+		if c.i < int64(c.Bigs)*c.Delta {
+			c.i++
+			id := c.nextID
+			c.nextID++
+			return Op{Insert: true, ID: id, Size: 1}, true
+		}
+		c.phase, c.i = 2, 0
+		fallthrough
+	case 2: // delete the big objects
+		if c.i < int64(c.Bigs) {
+			c.i++
+			return Op{ID: addrspace.ID(c.i), Size: c.Delta}, true
+		}
+		return Op{}, false
+	default:
+		return Op{}, false
+	}
+}
+
+// GapAdversary realizes the Ω(log ∆) footprint lower bound against
+// allocators that never move objects (Robson 1971 / Luby et al. 1996
+// style). Phase i first thins every earlier phase's survivors so that
+// phase-j survivors sit at every 2^(i-j)-th slot of their original run —
+// leaving holes of exactly 2^i − 2^j cells, one cell too small for a
+// size-2^i block — and then inserts Volume/2 worth of size-2^i blocks,
+// which a no-move allocator can only append at the frontier. The live
+// volume stays below Volume (survivor volumes form a geometric series)
+// while the footprint grows by Volume/2 per phase, so the final
+// footprint/volume ratio is Θ(MaxExp) = Θ(log ∆). A moving reallocator
+// holds (1+ε)·V throughout the same sequence.
+type GapAdversary struct {
+	Volume int64 // live-volume budget (phase volume is Volume/2)
+	MaxExp int   // final phase inserts size-2^MaxExp blocks
+
+	ops []Op
+	i   int
+}
+
+// Name implements Stream.
+func (g *GapAdversary) Name() string {
+	return fmt.Sprintf("gap-adversary(V=%d,maxExp=%d)", g.Volume, g.MaxExp)
+}
+
+// build materializes the deterministic op sequence.
+func (g *GapAdversary) build() {
+	if g.ops != nil {
+		return
+	}
+	next := addrspace.ID(1)
+	// survivors[j] holds phase j's live block IDs, in placement order.
+	var survivors [][]addrspace.ID
+	for exp := 0; exp <= g.MaxExp; exp++ {
+		size := int64(1) << uint(exp)
+		// Thin earlier phases: keep every other current survivor, so
+		// phase-j spacing becomes 2^(exp-j) slots and every hole is
+		// 2^exp - 2^j < 2^exp.
+		for j := range survivors {
+			kept := survivors[j][:0]
+			for idx, id := range survivors[j] {
+				if idx%2 == 0 {
+					kept = append(kept, id)
+				} else {
+					g.ops = append(g.ops, Op{ID: id, Size: int64(1) << uint(j)})
+				}
+			}
+			survivors[j] = kept
+		}
+		// Insert Volume/2 worth of size-2^exp blocks at the frontier.
+		count := g.Volume / 2 / size
+		if count == 0 {
+			count = 1
+		}
+		var ids []addrspace.ID
+		for k := int64(0); k < count; k++ {
+			g.ops = append(g.ops, Op{Insert: true, ID: next, Size: size})
+			ids = append(ids, next)
+			next++
+		}
+		survivors = append(survivors, ids)
+	}
+}
+
+// Next implements Stream.
+func (g *GapAdversary) Next() (Op, bool) {
+	g.build()
+	if g.i >= len(g.ops) {
+		return Op{}, false
+	}
+	op := g.ops[g.i]
+	g.i++
+	return op, true
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"realloc/internal/addrspace"
+)
+
+// Churn warms the structure up to TargetVolume and then alternates inserts
+// and deletes (victims chosen uniformly at random) keeping the live volume
+// near the target. It is the steady-state workload of most experiments.
+type Churn struct {
+	Seed         uint64
+	Sizes        SizeDist
+	TargetVolume int64
+	// InsertBias in [0,1] skews the steady phase; 0.5 holds volume level.
+	InsertBias float64
+
+	rng    *rand.Rand
+	live   []addrspace.ID
+	sizes  map[addrspace.ID]int64
+	vol    int64
+	nextID addrspace.ID
+}
+
+// Name implements Stream.
+func (c *Churn) Name() string {
+	return fmt.Sprintf("churn(%s,V=%d)", c.Sizes.Name(), c.TargetVolume)
+}
+
+func (c *Churn) init() {
+	if c.rng != nil {
+		return
+	}
+	c.rng = rand.New(rand.NewPCG(c.Seed, 0xc0ffee))
+	c.sizes = make(map[addrspace.ID]int64)
+	c.nextID = 1
+	if c.InsertBias == 0 {
+		c.InsertBias = 0.5
+	}
+}
+
+// Next implements Stream. Churn never ends; bound it with Drive's n.
+func (c *Churn) Next() (Op, bool) {
+	c.init()
+	insert := c.vol < c.TargetVolume || len(c.live) == 0 || c.rng.Float64() < c.InsertBias
+	if insert {
+		id := c.nextID
+		c.nextID++
+		size := c.Sizes.Draw(c.rng)
+		c.live = append(c.live, id)
+		c.sizes[id] = size
+		c.vol += size
+		return Op{Insert: true, ID: id, Size: size}, true
+	}
+	i := c.rng.IntN(len(c.live))
+	id := c.live[i]
+	c.live[i] = c.live[len(c.live)-1]
+	c.live = c.live[:len(c.live)-1]
+	size := c.sizes[id]
+	c.vol -= size
+	delete(c.sizes, id)
+	return Op{ID: id, Size: size}, true
+}
+
+// LiveVolume returns the generator's view of the live volume.
+func (c *Churn) LiveVolume() int64 { return c.vol }
+
+// Sawtooth grows the live volume to High, shrinks it to Low (deleting
+// oldest-first), and repeats, exercising mass deletions and structure
+// shrinkage.
+type Sawtooth struct {
+	Seed      uint64
+	Sizes     SizeDist
+	Low, High int64
+
+	rng     *rand.Rand
+	live    []addrspace.ID
+	sizes   map[addrspace.ID]int64
+	vol     int64
+	nextID  addrspace.ID
+	growing bool
+	started bool
+}
+
+// Name implements Stream.
+func (s *Sawtooth) Name() string {
+	return fmt.Sprintf("sawtooth(%s,%d..%d)", s.Sizes.Name(), s.Low, s.High)
+}
+
+// Next implements Stream; the stream never ends.
+func (s *Sawtooth) Next() (Op, bool) {
+	if !s.started {
+		s.rng = rand.New(rand.NewPCG(s.Seed, 0x5a77007))
+		s.sizes = make(map[addrspace.ID]int64)
+		s.nextID = 1
+		s.growing = true
+		s.started = true
+	}
+	if s.growing && s.vol >= s.High {
+		s.growing = false
+	}
+	if !s.growing && (s.vol <= s.Low || len(s.live) == 0) {
+		s.growing = true
+	}
+	if s.growing {
+		id := s.nextID
+		s.nextID++
+		size := s.Sizes.Draw(s.rng)
+		s.live = append(s.live, id)
+		s.sizes[id] = size
+		s.vol += size
+		return Op{Insert: true, ID: id, Size: size}, true
+	}
+	id := s.live[0]
+	s.live = s.live[1:]
+	size := s.sizes[id]
+	s.vol -= size
+	delete(s.sizes, id)
+	return Op{ID: id, Size: size}, true
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"realloc/internal/addrspace"
+)
+
+// DBTrace simulates the block workload of a write-optimized database
+// (the TokuDB-style setting that motivated the paper): a set of logical
+// blocks whose sizes follow a heavy-tailed distribution; updates rewrite a
+// block at a new size (delete + insert), occasionally creating or dropping
+// blocks. Block sizes model compressed B-tree nodes: mostly around the
+// node target size with occasional much larger blobs.
+type DBTrace struct {
+	Seed   uint64
+	Blocks int // steady-state block count
+	// MinBlock/MaxBlock bound block sizes in cells (think 4KiB units).
+	MinBlock, MaxBlock int64
+	// Resize factor bounds per-update size drift, e.g. 0.3 lets a block
+	// shrink/grow by up to 30% per rewrite.
+	Resize float64
+
+	rng    *rand.Rand
+	ids    []addrspace.ID
+	sizes  map[addrspace.ID]int64
+	nextID addrspace.ID
+	// pending holds the second half of an update (the re-insert after the
+	// delete).
+	pending *Op
+}
+
+// Name implements Stream.
+func (d *DBTrace) Name() string {
+	return fmt.Sprintf("dbtrace(blocks=%d,[%d,%d])", d.Blocks, d.MinBlock, d.MaxBlock)
+}
+
+func (d *DBTrace) init() {
+	if d.rng != nil {
+		return
+	}
+	d.rng = rand.New(rand.NewPCG(d.Seed, 0xdb7ace))
+	d.sizes = make(map[addrspace.ID]int64)
+	d.nextID = 1
+	if d.Resize == 0 {
+		d.Resize = 0.3
+	}
+}
+
+// blockSize draws a fresh block size: log-uniform-ish with a heavy tail.
+func (d *DBTrace) blockSize() int64 {
+	p := Pareto{Min: d.MinBlock, Max: d.MaxBlock, Alpha: 1.5}
+	return p.Draw(d.rng)
+}
+
+// resize drifts an existing size by up to ±Resize.
+func (d *DBTrace) resize(s int64) int64 {
+	f := 1 + (d.rng.Float64()*2-1)*d.Resize
+	ns := int64(float64(s) * f)
+	if ns < d.MinBlock {
+		ns = d.MinBlock
+	}
+	if ns > d.MaxBlock {
+		ns = d.MaxBlock
+	}
+	return ns
+}
+
+// Next implements Stream; the stream never ends.
+func (d *DBTrace) Next() (Op, bool) {
+	d.init()
+	if d.pending != nil {
+		op := *d.pending
+		d.pending = nil
+		return op, true
+	}
+	// Warm-up: create blocks until the steady count.
+	if len(d.ids) < d.Blocks {
+		id := d.nextID
+		d.nextID++
+		size := d.blockSize()
+		d.ids = append(d.ids, id)
+		d.sizes[id] = size
+		return Op{Insert: true, ID: id, Size: size}, true
+	}
+	r := d.rng.Float64()
+	switch {
+	case r < 0.80: // update: rewrite a block at a drifted size
+		i := d.rng.IntN(len(d.ids))
+		old := d.ids[i]
+		oldSize := d.sizes[old]
+		size := d.resize(oldSize)
+		id := d.nextID
+		d.nextID++
+		d.ids[i] = id
+		delete(d.sizes, old)
+		d.sizes[id] = size
+		d.pending = &Op{Insert: true, ID: id, Size: size}
+		return Op{ID: old, Size: oldSize}, true
+	case r < 0.90: // create
+		id := d.nextID
+		d.nextID++
+		size := d.blockSize()
+		d.ids = append(d.ids, id)
+		d.sizes[id] = size
+		return Op{Insert: true, ID: id, Size: size}, true
+	default: // drop
+		i := d.rng.IntN(len(d.ids))
+		id := d.ids[i]
+		d.ids[i] = d.ids[len(d.ids)-1]
+		d.ids = d.ids[:len(d.ids)-1]
+		size := d.sizes[id]
+		delete(d.sizes, id)
+		return Op{ID: id, Size: size}, true
+	}
+}

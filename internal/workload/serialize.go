@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Trace text format: one op per line.
+//
+//	+ <id> <size>   insert
+//	- <id> [size]   delete (size optional; informational)
+//	# ...           comment
+//
+// The format round-trips through WriteOps/ReadOps and is stable, so
+// captured production traces can be replayed against any allocator and
+// compared across versions.
+
+// WriteOps writes ops in the trace text format.
+func WriteOps(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		var err error
+		if op.Insert {
+			_, err = fmt.Fprintf(bw, "+ %d %d\n", op.ID, op.Size)
+		} else {
+			_, err = fmt.Fprintf(bw, "- %d %d\n", op.ID, op.Size)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOps parses the trace text format. Malformed lines abort with an
+// error naming the line number.
+func ReadOps(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("workload: line %d: malformed %q", lineNo, line)
+		}
+		var op Op
+		switch fields[0] {
+		case "+":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("workload: line %d: insert needs id and size", lineNo)
+			}
+			op.Insert = true
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &op.ID, &op.Size); err != nil {
+				return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+			}
+			if op.Size < 1 {
+				return nil, fmt.Errorf("workload: line %d: size %d < 1", lineNo, op.Size)
+			}
+		case "-":
+			if _, err := fmt.Sscanf(fields[1], "%d", &op.ID); err != nil {
+				return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+			}
+			if len(fields) >= 3 {
+				if _, err := fmt.Sscanf(fields[2], "%d", &op.Size); err != nil {
+					return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown op %q", lineNo, fields[0])
+		}
+		if op.ID == 0 {
+			return nil, fmt.Errorf("workload: line %d: zero id", lineNo)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Validate simulates the op sequence against a live-set model, reporting
+// the first contract violation (duplicate insert, delete of a dead id)
+// and the final live volume.
+func Validate(ops []Op) (liveVolume int64, err error) {
+	live := map[int64]int64{}
+	for i, op := range ops {
+		id := int64(op.ID)
+		if op.Insert {
+			if _, dup := live[id]; dup {
+				return 0, fmt.Errorf("workload: op %d: duplicate insert of %d", i, id)
+			}
+			live[id] = op.Size
+			liveVolume += op.Size
+		} else {
+			size, ok := live[id]
+			if !ok {
+				return 0, fmt.Errorf("workload: op %d: delete of dead id %d", i, id)
+			}
+			delete(live, id)
+			liveVolume -= size
+		}
+	}
+	return liveVolume, nil
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := Collect(&Churn{Seed: 9, Sizes: Uniform{Min: 1, Max: 64}, TargetVolume: 1000}, 500)
+	var buf bytes.Buffer
+	if err := WriteOps(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOps(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadOpsFormat(t *testing.T) {
+	in := `# a comment
+
++ 1 10
++ 2 5
+- 1 10
+- 2
+`
+	ops, err := ReadOps(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if !ops[0].Insert || ops[0].ID != 1 || ops[0].Size != 10 {
+		t.Fatalf("op 0: %+v", ops[0])
+	}
+	if ops[3].Insert || ops[3].ID != 2 || ops[3].Size != 0 {
+		t.Fatalf("op 3 (size optional): %+v", ops[3])
+	}
+}
+
+func TestReadOpsErrors(t *testing.T) {
+	cases := []string{
+		"+ 1",         // insert missing size
+		"+ 1 0",       // zero size
+		"+ 0 5",       // zero id
+		"* 1 5",       // unknown op
+		"+ x 5",       // bad id
+		"- 1 garbage", // bad size
+		"junk",
+	}
+	for _, c := range cases {
+		if _, err := ReadOps(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed line %q", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Op{
+		{Insert: true, ID: 1, Size: 10},
+		{Insert: true, ID: 2, Size: 5},
+		{ID: 1},
+	}
+	vol, err := Validate(good)
+	if err != nil || vol != 5 {
+		t.Fatalf("validate: vol=%d err=%v", vol, err)
+	}
+	if _, err := Validate([]Op{{Insert: true, ID: 1, Size: 1}, {Insert: true, ID: 1, Size: 1}}); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, err := Validate([]Op{{ID: 7}}); err == nil {
+		t.Fatal("delete of dead id accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package workload generates the deterministic request sequences the
+// experiment suite replays against reallocators and baseline allocators:
+// steady churn with several size distributions, sawtooth growth, the
+// paper's explicit adversaries, and a database block-store trace.
+//
+// All generators are seeded and reproducible: the same configuration
+// yields the same op sequence on every run.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"realloc/internal/addrspace"
+)
+
+// Op is one request: an insert of Size cells under a fresh ID, or a delete
+// of a previously inserted ID.
+type Op struct {
+	Insert bool
+	ID     addrspace.ID
+	Size   int64
+}
+
+// Target is anything that services the storage reallocation interface;
+// the core reallocators and every baseline satisfy it.
+type Target interface {
+	Insert(id addrspace.ID, size int64) error
+	Delete(id addrspace.ID) error
+}
+
+// Stream produces ops one at a time. Streams are single-use.
+type Stream interface {
+	Name() string
+	// Next returns the next op; ok=false ends the stream.
+	Next() (op Op, ok bool)
+}
+
+// Drive replays up to n ops from s into t (all ops when n <= 0). It
+// returns the number of ops applied and the first error.
+func Drive(t Target, s Stream, n int) (int, error) {
+	applied := 0
+	for n <= 0 || applied < n {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		var err error
+		if op.Insert {
+			err = t.Insert(op.ID, op.Size)
+		} else {
+			err = t.Delete(op.ID)
+		}
+		if err != nil {
+			return applied, fmt.Errorf("workload %s op %d (%+v): %w", s.Name(), applied, op, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// Collect materializes up to n ops (all when n <= 0).
+func Collect(s Stream, n int) []Op {
+	var ops []Op
+	for n <= 0 || len(ops) < n {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Replay turns a materialized op list back into a Stream.
+func Replay(name string, ops []Op) Stream {
+	return &replayStream{name: name, ops: ops}
+}
+
+type replayStream struct {
+	name string
+	ops  []Op
+	i    int
+}
+
+func (r *replayStream) Name() string { return r.name }
+
+func (r *replayStream) Next() (Op, bool) {
+	if r.i >= len(r.ops) {
+		return Op{}, false
+	}
+	op := r.ops[r.i]
+	r.i++
+	return op, true
+}
+
+// SizeDist draws object sizes.
+type SizeDist interface {
+	Name() string
+	Draw(rng *rand.Rand) int64
+}
+
+// Uniform draws sizes uniformly from [Min, Max].
+type Uniform struct{ Min, Max int64 }
+
+// Name implements SizeDist.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform[%d,%d]", u.Min, u.Max) }
+
+// Draw implements SizeDist.
+func (u Uniform) Draw(rng *rand.Rand) int64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Int64N(u.Max-u.Min+1)
+}
+
+// Pareto draws sizes from a bounded Pareto distribution on [Min, Max] with
+// shape Alpha — the heavy-tailed block-size mix (mostly small objects, a
+// few huge ones) that stresses size-class machinery.
+type Pareto struct {
+	Min, Max int64
+	Alpha    float64
+}
+
+// Name implements SizeDist.
+func (p Pareto) Name() string { return fmt.Sprintf("pareto[%d,%d;a=%g]", p.Min, p.Max, p.Alpha) }
+
+// Draw implements SizeDist.
+func (p Pareto) Draw(rng *rand.Rand) int64 {
+	a := p.Alpha
+	if a <= 0 {
+		a = 1.2
+	}
+	lo, hi := float64(p.Min), float64(p.Max)
+	u := rng.Float64()
+	la, ha := math.Pow(lo, -a), math.Pow(hi, -a)
+	x := math.Pow(la-u*(la-ha), -1/a)
+	s := int64(x)
+	if s < p.Min {
+		s = p.Min
+	}
+	if s > p.Max {
+		s = p.Max
+	}
+	return s
+}
+
+// PowersOfTwo draws sizes 2^k for k uniform in [MinExp, MaxExp]: the
+// workload that lands exactly on class boundaries.
+type PowersOfTwo struct{ MinExp, MaxExp int }
+
+// Name implements SizeDist.
+func (p PowersOfTwo) Name() string { return fmt.Sprintf("pow2[%d,%d]", p.MinExp, p.MaxExp) }
+
+// Draw implements SizeDist.
+func (p PowersOfTwo) Draw(rng *rand.Rand) int64 {
+	k := p.MinExp
+	if p.MaxExp > p.MinExp {
+		k += rng.IntN(p.MaxExp - p.MinExp + 1)
+	}
+	return int64(1) << uint(k)
+}

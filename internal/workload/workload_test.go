@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"realloc/internal/addrspace"
+)
+
+// checker validates op-stream contracts: inserts carry fresh IDs and
+// positive sizes; deletes reference live objects and carry their size.
+type checker struct {
+	live map[addrspace.ID]int64
+	vol  int64
+	t    *testing.T
+}
+
+func newChecker(t *testing.T) *checker {
+	return &checker{live: map[addrspace.ID]int64{}, t: t}
+}
+
+func (c *checker) Insert(id addrspace.ID, size int64) error {
+	if id == 0 {
+		c.t.Fatal("insert with zero id")
+	}
+	if size < 1 {
+		c.t.Fatalf("insert %d with size %d", id, size)
+	}
+	if _, dup := c.live[id]; dup {
+		c.t.Fatalf("duplicate insert %d", id)
+	}
+	c.live[id] = size
+	c.vol += size
+	return nil
+}
+
+func (c *checker) Delete(id addrspace.ID) error {
+	size, ok := c.live[id]
+	if !ok {
+		c.t.Fatalf("delete of dead object %d", id)
+	}
+	delete(c.live, id)
+	c.vol -= size
+	return nil
+}
+
+func TestChurnContractAndVolume(t *testing.T) {
+	c := newChecker(t)
+	churn := &Churn{Seed: 1, Sizes: Uniform{Min: 1, Max: 100}, TargetVolume: 5000}
+	if _, err := Drive(c, churn, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if c.vol != churn.LiveVolume() {
+		t.Fatalf("generator volume %d != applied %d", churn.LiveVolume(), c.vol)
+	}
+	// Steady state hovers near the target.
+	if c.vol < 4000 || c.vol > 7000 {
+		t.Fatalf("steady volume %d far from target 5000", c.vol)
+	}
+}
+
+func TestChurnDeleteOpsCarrySize(t *testing.T) {
+	churn := &Churn{Seed: 2, Sizes: Uniform{Min: 5, Max: 9}, TargetVolume: 100}
+	sizes := map[addrspace.ID]int64{}
+	for i := 0; i < 500; i++ {
+		op, _ := churn.Next()
+		if op.Insert {
+			sizes[op.ID] = op.Size
+			continue
+		}
+		if op.Size != sizes[op.ID] {
+			t.Fatalf("delete op size %d, inserted %d", op.Size, sizes[op.ID])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	streams := func() []Stream {
+		return []Stream{
+			&Churn{Seed: 7, Sizes: Pareto{Min: 1, Max: 512, Alpha: 1.2}, TargetVolume: 3000},
+			&Sawtooth{Seed: 7, Sizes: Uniform{Min: 1, Max: 50}, Low: 500, High: 2000},
+			&DBTrace{Seed: 7, Blocks: 50, MinBlock: 4, MaxBlock: 256},
+			&GapAdversary{Volume: 512, MaxExp: 4},
+			&LowerBound{Delta: 32},
+			&CompactionAdversary{Delta: 32, Bigs: 3},
+		}
+	}
+	a, b := streams(), streams()
+	for i := range a {
+		opsA := Collect(a[i], 2000)
+		opsB := Collect(b[i], 2000)
+		if len(opsA) != len(opsB) {
+			t.Fatalf("%s: lengths differ", a[i].Name())
+		}
+		for j := range opsA {
+			if opsA[j] != opsB[j] {
+				t.Fatalf("%s: op %d differs: %+v vs %+v", a[i].Name(), j, opsA[j], opsB[j])
+			}
+		}
+	}
+}
+
+func TestSawtoothOscillates(t *testing.T) {
+	c := newChecker(t)
+	saw := &Sawtooth{Seed: 3, Sizes: Uniform{Min: 1, Max: 20}, Low: 200, High: 1000}
+	var sawHigh, sawLow bool
+	for i := 0; i < 5000; i++ {
+		op, _ := saw.Next()
+		if op.Insert {
+			_ = c.Insert(op.ID, op.Size)
+		} else {
+			_ = c.Delete(op.ID)
+		}
+		if c.vol >= 1000 {
+			sawHigh = true
+		}
+		if sawHigh && c.vol <= 220 {
+			sawLow = true
+		}
+	}
+	if !sawHigh || !sawLow {
+		t.Fatalf("sawtooth did not oscillate (high=%v low=%v, vol=%d)", sawHigh, sawLow, c.vol)
+	}
+}
+
+func TestSizeDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	t.Run("uniform", func(t *testing.T) {
+		d := Uniform{Min: 5, Max: 10}
+		for i := 0; i < 1000; i++ {
+			s := d.Draw(rng)
+			if s < 5 || s > 10 {
+				t.Fatalf("uniform out of range: %d", s)
+			}
+		}
+		if (Uniform{Min: 7, Max: 7}).Draw(rng) != 7 {
+			t.Fatal("degenerate uniform")
+		}
+	})
+	t.Run("pareto", func(t *testing.T) {
+		d := Pareto{Min: 2, Max: 1024, Alpha: 1.2}
+		small, large := 0, 0
+		for i := 0; i < 5000; i++ {
+			s := d.Draw(rng)
+			if s < 2 || s > 1024 {
+				t.Fatalf("pareto out of range: %d", s)
+			}
+			if s < 8 {
+				small++
+			}
+			if s > 256 {
+				large++
+			}
+		}
+		// Heavy tail: mostly small values but some large ones.
+		if small < 2500 {
+			t.Fatalf("pareto not head-heavy: %d small of 5000", small)
+		}
+		if large == 0 {
+			t.Fatal("pareto tail never sampled")
+		}
+	})
+	t.Run("pow2", func(t *testing.T) {
+		d := PowersOfTwo{MinExp: 2, MaxExp: 6}
+		for i := 0; i < 1000; i++ {
+			s := d.Draw(rng)
+			if s&(s-1) != 0 || s < 4 || s > 64 {
+				t.Fatalf("pow2 drew %d", s)
+			}
+		}
+	})
+}
+
+func TestDBTraceContract(t *testing.T) {
+	c := newChecker(t)
+	d := &DBTrace{Seed: 4, Blocks: 100, MinBlock: 4, MaxBlock: 512}
+	if _, err := Drive(c, d, 8000); err != nil {
+		t.Fatal(err)
+	}
+	// Block count hovers near the steady count.
+	if n := len(c.live); n < 50 || n > 200 {
+		t.Fatalf("block count drifted to %d", n)
+	}
+	for _, size := range c.live {
+		if size < 4 || size > 512 {
+			t.Fatalf("block size %d out of bounds", size)
+		}
+	}
+}
+
+func TestLowerBoundSequence(t *testing.T) {
+	ops := Collect(&LowerBound{Delta: 16}, 0)
+	if len(ops) != 18 { // 1 big + 16 small + 1 delete
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if !ops[0].Insert || ops[0].Size != 16 {
+		t.Fatalf("first op: %+v", ops[0])
+	}
+	for i := 1; i <= 16; i++ {
+		if !ops[i].Insert || ops[i].Size != 1 {
+			t.Fatalf("op %d: %+v", i, ops[i])
+		}
+	}
+	last := ops[17]
+	if last.Insert || last.ID != ops[0].ID || last.Size != 16 {
+		t.Fatalf("last op: %+v", last)
+	}
+}
+
+func TestCompactionAdversaryShape(t *testing.T) {
+	adv := &CompactionAdversary{Delta: 8, Bigs: 3}
+	c := newChecker(t)
+	if _, err := Drive(c, adv, 0); err != nil {
+		t.Fatal(err)
+	}
+	// After the run: bigs deleted, smalls remain.
+	if c.vol != 3*8 {
+		t.Fatalf("remaining volume = %d, want 24 smalls", c.vol)
+	}
+	if adv.Deletes() != 3 {
+		t.Fatalf("deletes = %d", adv.Deletes())
+	}
+}
+
+// TestGapAdversaryLiveVolume asserts the thinning construction's key
+// properties: live volume never exceeds the budget, and every hole left
+// for phase i is strictly smaller than 2^i.
+func TestGapAdversaryLiveVolume(t *testing.T) {
+	err := quick.Check(func(seedRaw uint8) bool {
+		maxExp := int(seedRaw%5) + 3
+		vol := int64(1024)
+		adv := &GapAdversary{Volume: vol, MaxExp: maxExp}
+		c := newChecker(t)
+		for {
+			op, ok := adv.Next()
+			if !ok {
+				break
+			}
+			if op.Insert {
+				_ = c.Insert(op.ID, op.Size)
+			} else {
+				_ = c.Delete(op.ID)
+			}
+			if c.vol > vol {
+				t.Logf("live volume %d exceeded budget %d", c.vol, vol)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayAndCollect(t *testing.T) {
+	orig := Collect(&LowerBound{Delta: 4}, 0)
+	re := Replay("again", orig)
+	if re.Name() != "again" {
+		t.Fatal("name")
+	}
+	got := Collect(re, 0)
+	if len(got) != len(orig) {
+		t.Fatalf("replay length %d != %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("replay op %d differs", i)
+		}
+	}
+	// Collect with a cap.
+	capped := Collect(Replay("c", orig), 3)
+	if len(capped) != 3 {
+		t.Fatalf("capped collect = %d", len(capped))
+	}
+}
+
+func TestDriveStopsOnError(t *testing.T) {
+	bad := &failingTarget{failAt: 5}
+	n, err := Drive(bad, &Churn{Seed: 1, Sizes: Uniform{Min: 1, Max: 2}, TargetVolume: 100}, 100)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n != 4 {
+		t.Fatalf("applied %d ops before failure, want 4", n)
+	}
+}
+
+type failingTarget struct {
+	n, failAt int
+}
+
+func (f *failingTarget) Insert(addrspace.ID, int64) error { return f.tick() }
+func (f *failingTarget) Delete(addrspace.ID) error        { return f.tick() }
+
+func (f *failingTarget) tick() error {
+	f.n++
+	if f.n >= f.failAt {
+		return errFail
+	}
+	return nil
+}
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "synthetic failure" }

@@ -1,0 +1,208 @@
+package realloc
+
+import (
+	"sync"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// Variant selects the algorithm; see the package documentation.
+type Variant int
+
+// Available variants.
+const (
+	Amortized Variant = iota
+	Checkpointed
+	Deamortized
+)
+
+func (v Variant) String() string { return core.Variant(v).String() }
+
+// Extent is a placement: the half-open cell interval
+// [Start, Start+Size).
+type Extent struct {
+	Start int64
+	Size  int64
+}
+
+// End returns the first address past the extent.
+func (e Extent) End() int64 { return e.Start + e.Size }
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	epsilon  float64
+	epsPrime float64
+	variant  Variant
+	observer func(Event)
+	metrics  bool
+	paranoid bool
+	locking  bool
+}
+
+// WithEpsilon sets the footprint slack target ε in (0, 1]: the footprint
+// stays within (1+ε)·V. Default 0.25.
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithVariant selects the algorithm variant. Default Amortized.
+func WithVariant(v Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithObserver registers a callback receiving every placement event —
+// the hook a block translation layer uses to track physical addresses.
+func WithObserver(fn func(Event)) Option { return func(c *config) { c.observer = fn } }
+
+// WithMetrics enables the built-in metrics pipeline, which prices the
+// reallocation trace under the standard subadditive cost family; read the
+// results with Stats.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
+// WithInvariantChecks re-validates all structural invariants after every
+// request, turning violations into errors. Intended for tests; it is
+// O(n) per request.
+func WithInvariantChecks() Option { return func(c *config) { c.paranoid = true } }
+
+// WithLocking serializes all methods with a mutex, making the Reallocator
+// safe for concurrent use. (The algorithm itself is inherently sequential
+// — requests are an ordered stream — so a single lock is the honest
+// concurrency model.)
+func WithLocking() Option { return func(c *config) { c.locking = true } }
+
+// Reallocator is the public handle for the cost-oblivious storage
+// reallocator.
+type Reallocator struct {
+	inner   *core.Reallocator
+	metrics *trace.Metrics
+	mu      *sync.Mutex // non-nil iff WithLocking
+}
+
+// lock acquires the optional mutex and returns its release function.
+func (r *Reallocator) lock() func() {
+	if r.mu == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	return r.mu.Unlock
+}
+
+// New creates a Reallocator.
+func New(opts ...Option) (*Reallocator, error) {
+	cfg := config{epsilon: 0.25}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var recs trace.Multi
+	var m *trace.Metrics
+	if cfg.metrics {
+		m = trace.NewMetrics()
+		recs = append(recs, m)
+	}
+	if cfg.observer != nil {
+		recs = append(recs, observerAdapter{cfg.observer})
+	}
+	var rec trace.Recorder
+	switch len(recs) {
+	case 0:
+		rec = trace.Null{}
+	case 1:
+		rec = recs[0]
+	default:
+		rec = recs
+	}
+	inner, err := core.New(core.Config{
+		Epsilon:  cfg.epsilon,
+		EpsPrime: cfg.epsPrime,
+		Variant:  core.Variant(cfg.variant),
+		Recorder: rec,
+		Paranoid: cfg.paranoid,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Reallocator{inner: inner, metrics: m}
+	if cfg.locking {
+		out.mu = new(sync.Mutex)
+	}
+	return out, nil
+}
+
+// Insert services 〈InsertObject, id, size〉: it allocates a size-cell
+// object under the caller's non-zero id.
+func (r *Reallocator) Insert(id int64, size int64) error {
+	defer r.lock()()
+	return r.inner.Insert(addrspace.ID(id), size)
+}
+
+// Delete services 〈DeleteObject, id〉.
+func (r *Reallocator) Delete(id int64) error {
+	defer r.lock()()
+	return r.inner.Delete(addrspace.ID(id))
+}
+
+// Extent returns the object's current physical placement. Placements
+// change as the reallocator moves objects; track them live with
+// WithObserver.
+func (r *Reallocator) Extent(id int64) (Extent, bool) {
+	defer r.lock()()
+	e, ok := r.inner.Extent(addrspace.ID(id))
+	return Extent{Start: e.Start, Size: e.Size}, ok
+}
+
+// Has reports whether the object is live.
+func (r *Reallocator) Has(id int64) bool {
+	defer r.lock()()
+	return r.inner.Has(addrspace.ID(id))
+}
+
+// Len returns the number of live objects.
+func (r *Reallocator) Len() int {
+	defer r.lock()()
+	return r.inner.Len()
+}
+
+// Volume returns the total live volume V.
+func (r *Reallocator) Volume() int64 {
+	defer r.lock()()
+	return r.inner.Volume()
+}
+
+// Footprint returns the largest allocated address — the quantity kept
+// within (1+ε)·V.
+func (r *Reallocator) Footprint() int64 {
+	defer r.lock()()
+	return r.inner.Footprint()
+}
+
+// Delta returns the largest object size seen (the paper's ∆).
+func (r *Reallocator) Delta() int64 { return r.inner.Delta() }
+
+// Epsilon returns the configured footprint slack.
+func (r *Reallocator) Epsilon() float64 { return r.inner.Epsilon() }
+
+// Flushes returns how many buffer flushes have run.
+func (r *Reallocator) Flushes() int64 { return r.inner.Flushes() }
+
+// FlushActive reports whether a deamortized flush is mid-execution.
+func (r *Reallocator) FlushActive() bool { return r.inner.FlushActive() }
+
+// Drain completes any in-progress deamortized flush.
+func (r *Reallocator) Drain() error {
+	defer r.lock()()
+	return r.inner.Drain()
+}
+
+// ForEach visits live objects in address order.
+func (r *Reallocator) ForEach(fn func(id int64, ext Extent)) {
+	defer r.lock()()
+	r.inner.ForEach(func(id addrspace.ID, e addrspace.Extent) {
+		fn(int64(id), Extent{Start: e.Start, Size: e.Size})
+	})
+}
+
+// CheckInvariants validates the full structure; see WithInvariantChecks.
+func (r *Reallocator) CheckInvariants() error {
+	defer r.lock()()
+	return r.inner.CheckInvariants()
+}

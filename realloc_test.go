@@ -1,0 +1,250 @@
+package realloc_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"realloc"
+)
+
+func TestPublicAPIBasics(t *testing.T) {
+	for _, v := range []realloc.Variant{realloc.Amortized, realloc.Checkpointed, realloc.Deamortized} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			r, err := realloc.New(
+				realloc.WithEpsilon(0.25),
+				realloc.WithVariant(v),
+				realloc.WithMetrics(),
+				realloc.WithInvariantChecks(),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := int64(1); id <= 300; id++ {
+				if err := r.Insert(id, 1+(id%50)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for id := int64(2); id <= 300; id += 2 {
+				if err := r.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if r.Len() != 150 {
+				t.Fatalf("len = %d", r.Len())
+			}
+			if !r.Has(1) || r.Has(2) {
+				t.Fatal("Has is wrong")
+			}
+			ext, ok := r.Extent(1)
+			if !ok || ext.Size != 2 {
+				t.Fatalf("extent of 1: %+v %v", ext, ok)
+			}
+			if ext.End() != ext.Start+ext.Size {
+				t.Fatal("Extent.End arithmetic")
+			}
+			if got := float64(r.Footprint()) / float64(r.Volume()); got > 1.27 {
+				t.Fatalf("footprint ratio %v", got)
+			}
+			if r.Epsilon() != 0.25 {
+				t.Fatalf("epsilon = %v", r.Epsilon())
+			}
+			if r.Delta() != 50 {
+				t.Fatalf("delta = %d", r.Delta())
+			}
+			st, ok := r.Stats()
+			if !ok {
+				t.Fatal("stats missing despite WithMetrics")
+			}
+			if st.Inserts != 300 || st.Deletes != 150 {
+				t.Fatalf("stats counts: %+v", st)
+			}
+			if len(st.CostRatios) == 0 {
+				t.Fatal("no cost ratios")
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := realloc.New(realloc.WithEpsilon(0)); err == nil {
+		t.Fatal("eps 0 accepted")
+	}
+	if _, err := realloc.New(realloc.WithEpsilon(2)); err == nil {
+		t.Fatal("eps 2 accepted")
+	}
+	r, _ := realloc.New()
+	if r.Epsilon() != 0.25 {
+		t.Fatalf("default epsilon = %v", r.Epsilon())
+	}
+	if _, ok := r.Stats(); ok {
+		t.Fatal("stats present without WithMetrics")
+	}
+}
+
+// TestObserverTracksExtents verifies the observer event contract: applying
+// insert/move/delete events to a shadow map reproduces Extent exactly —
+// this is what a block translation layer relies on.
+func TestObserverTracksExtents(t *testing.T) {
+	shadow := map[int64]realloc.Extent{}
+	r, err := realloc.New(
+		realloc.WithEpsilon(0.25),
+		realloc.WithVariant(realloc.Checkpointed),
+		realloc.WithObserver(func(e realloc.Event) {
+			switch e.Kind {
+			case realloc.EventInsert:
+				shadow[e.ID] = realloc.Extent{Start: e.To, Size: e.Size}
+			case realloc.EventMove:
+				shadow[e.ID] = realloc.Extent{Start: e.To, Size: e.Size}
+			case realloc.EventDelete:
+				delete(shadow, e.ID)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	live := []int64{}
+	next := int64(1)
+	for op := 0; op < 2500; op++ {
+		if len(live) == 0 || rng.IntN(5) < 3 {
+			if err := r.Insert(next, 1+rng.Int64N(80)); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, next)
+			next++
+		} else {
+			i := rng.IntN(len(live))
+			if err := r.Delete(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if len(shadow) != r.Len() {
+		t.Fatalf("shadow has %d entries, reallocator %d", len(shadow), r.Len())
+	}
+	r.ForEach(func(id int64, ext realloc.Extent) {
+		if shadow[id] != ext {
+			t.Fatalf("object %d: shadow %+v, actual %+v", id, shadow[id], ext)
+		}
+	})
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []realloc.EventKind{
+		realloc.EventInsert, realloc.EventDelete, realloc.EventMove,
+		realloc.EventCheckpoint, realloc.EventFlushStart, realloc.EventFlushEnd,
+		realloc.EventKind(250),
+	}
+	want := []string{"insert", "delete", "move", "checkpoint", "flush-start", "flush-end", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q", i, k.String())
+		}
+	}
+}
+
+func TestPublicBlockStore(t *testing.T) {
+	s, err := realloc.NewBlockStore(realloc.BlockStoreEpsilon(0.25), realloc.BlockStoreDeamortized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("root", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("root", 128); err != nil {
+		t.Fatal(err)
+	}
+	ext, ok := s.Lookup("root")
+	if !ok || ext.Size != 128 {
+		t.Fatalf("lookup: %+v %v", ext, ok)
+	}
+	s.Checkpoint()
+	s.Crash()
+	n, err := s.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("recover: %d %v", n, err)
+	}
+	if err := s.Drop("root"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Checkpoints() == 0 {
+		t.Fatal("checkpoint counter")
+	}
+	_ = s.Footprint()
+	_ = s.Volume()
+}
+
+func TestPublicScheduler(t *testing.T) {
+	s, err := realloc.NewScheduler(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 20; id++ {
+		if err := s.AddJob(id, 10+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Jobs() != 20 {
+		t.Fatalf("jobs = %d", s.Jobs())
+	}
+	if float64(s.Makespan()) > 1.27*float64(s.TotalWork()) {
+		t.Fatalf("makespan %d vs work %d", s.Makespan(), s.TotalWork())
+	}
+	start, end, ok := s.Interval(5)
+	if !ok || end-start != 15 {
+		t.Fatalf("interval: %d %d %v", start, end, ok)
+	}
+	if err := s.RemoveJob(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Gantt(50) == "" {
+		t.Fatal("empty gantt")
+	}
+}
+
+func TestPublicDefragment(t *testing.T) {
+	blocks := []realloc.Block{
+		{ID: 3, Size: 10, Offset: 0},
+		{ID: 1, Size: 5, Offset: 12},
+		{ID: 2, Size: 8, Offset: 20},
+	}
+	st, err := realloc.Defragment(blocks, func(a, b int64) bool { return a < b }, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 3 || st.Volume != 23 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.Layout) != 3 {
+		t.Fatalf("layout: %+v", st.Layout)
+	}
+	for i := 1; i < len(st.Layout); i++ {
+		if st.Layout[i].ID < st.Layout[i-1].ID {
+			t.Fatal("layout not sorted")
+		}
+		if st.Layout[i].Offset != st.Layout[i-1].Offset+st.Layout[i-1].Size {
+			t.Fatal("layout not packed")
+		}
+	}
+	if st.PeakFootprint > st.SpaceBudget {
+		t.Fatalf("peak %d > budget %d", st.PeakFootprint, st.SpaceBudget)
+	}
+	// Overlapping input must be rejected.
+	bad := []realloc.Block{{ID: 1, Size: 10, Offset: 0}, {ID: 2, Size: 10, Offset: 5}}
+	if _, err := realloc.Defragment(bad, func(a, b int64) bool { return a < b }, 0.5); err == nil {
+		t.Fatal("overlapping input accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package realloc
+
+import "realloc/internal/sched"
+
+// Scheduler maintains a dynamic uniprocessor schedule — the paper's
+// 1|f(w) realloc|Cmax interpretation. Jobs own time intervals; the
+// makespan stays within (1+ε) of the total work while the rescheduling
+// cost stays within O((1/ε)log(1/ε)) of scheduling each job once, for
+// every subadditive cost function.
+type Scheduler struct {
+	inner *sched.Planner
+}
+
+// NewScheduler creates a planner with makespan slack eps.
+func NewScheduler(eps float64) (*Scheduler, error) {
+	p, err := sched.New(eps, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{inner: p}, nil
+}
+
+// AddJob schedules a job of the given length.
+func (s *Scheduler) AddJob(id int64, length int64) error {
+	return s.inner.AddJob(sched.JobID(id), length)
+}
+
+// RemoveJob unschedules a job.
+func (s *Scheduler) RemoveJob(id int64) error { return s.inner.RemoveJob(sched.JobID(id)) }
+
+// Interval returns the job's scheduled [start, end) time window.
+func (s *Scheduler) Interval(id int64) (start, end int64, ok bool) {
+	return s.inner.Interval(sched.JobID(id))
+}
+
+// Makespan returns the latest completion time of any job.
+func (s *Scheduler) Makespan() int64 { return s.inner.Makespan() }
+
+// TotalWork returns the sum of live job lengths.
+func (s *Scheduler) TotalWork() int64 { return s.inner.TotalWork() }
+
+// Jobs returns the number of scheduled jobs.
+func (s *Scheduler) Jobs() int { return s.inner.Jobs() }
+
+// Gantt renders the schedule as an ASCII chart.
+func (s *Scheduler) Gantt(width int) string { return s.inner.Gantt(width) }
