@@ -8,6 +8,9 @@ package realloc_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"realloc"
@@ -89,6 +92,10 @@ func BenchmarkE12PriceOfObliviousness(b *testing.B) {
 	benchExperiment(b, "E12", "premium/linear", "linear-premium")
 }
 
+func BenchmarkE13ShardScaling(b *testing.B) {
+	benchExperiment(b, "E13", "shards/8/speedup", "8-shard-speedup")
+}
+
 // benchChurnTarget measures steady-state request throughput.
 func benchChurnTarget(b *testing.B, t workload.Target) {
 	churn := &workload.Churn{
@@ -131,6 +138,107 @@ func BenchmarkChurnBestFit(b *testing.B)      { benchChurnTarget(b, baseline.New
 func BenchmarkChurnBuddy(b *testing.B)        { benchChurnTarget(b, baseline.NewBuddy(nil)) }
 func BenchmarkChurnLogCompact(b *testing.B)   { benchChurnTarget(b, baseline.NewLogCompact(nil)) }
 func BenchmarkChurnClassGap(b *testing.B)     { benchChurnTarget(b, baseline.NewClassGap(nil)) }
+
+// concurrentTarget is the surface the parallel churn benchmarks drive;
+// the locked single-core facade and the sharded facade both satisfy it.
+type concurrentTarget interface {
+	Insert(id int64, size int64) error
+	Delete(id int64) error
+}
+
+// benchParallelChurn measures concurrent churn throughput with
+// b.RunParallel: each goroutine works a private id space (goroutine index
+// in the high bits) and holds its live volume near a per-goroutine
+// target, so every timed iteration is exactly one Insert or Delete.
+// Every worker's population is seeded to the steady-state volume outside
+// the timer, so the timed region measures steady churn rather than
+// initial growth no matter what b.N the harness picks.
+func benchParallelChurn(b *testing.B, t concurrentTarget) {
+	type obj struct{ id, size int64 }
+	type state struct {
+		rng  *rand.Rand
+		next int64
+		live []obj
+		vol  int64
+	}
+	const targetVol = 1 << 17
+	const maxSize = 16
+	workers := runtime.GOMAXPROCS(0)
+	states := make([]*state, workers)
+	for w := range states {
+		st := &state{rng: rand.New(rand.NewPCG(uint64(w+1), 0x5a4d)), next: 1}
+		base := int64(w+1) << 40
+		for st.vol < targetVol {
+			id := base | st.next
+			st.next++
+			size := int64(1 + st.rng.IntN(maxSize))
+			if err := t.Insert(id, size); err != nil {
+				b.Fatal(err)
+			}
+			st.live = append(st.live, obj{id, size})
+			st.vol += size
+		}
+		states[w] = st
+	}
+	b.ResetTimer()
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) - 1
+		if i >= len(states) {
+			b.Error("more parallel goroutines than GOMAXPROCS")
+			return
+		}
+		st := states[i]
+		base := int64(i+1) << 40
+		for pb.Next() {
+			if st.vol < targetVol || st.rng.IntN(2) == 0 {
+				id := base | st.next
+				st.next++
+				size := int64(1 + st.rng.IntN(maxSize))
+				if err := t.Insert(id, size); err != nil {
+					b.Error(err)
+					return
+				}
+				st.live = append(st.live, obj{id, size})
+				st.vol += size
+			} else {
+				j := st.rng.IntN(len(st.live))
+				o := st.live[j]
+				st.live[j] = st.live[len(st.live)-1]
+				st.live = st.live[:len(st.live)-1]
+				if err := t.Delete(o.id); err != nil {
+					b.Error(err)
+					return
+				}
+				st.vol -= o.size
+			}
+		}
+	})
+}
+
+// BenchmarkShardedChurnLocked1 is the single-lock baseline the sharded
+// configurations are measured against; compare ns/op (one op each):
+//
+//	go test -bench Sharded -cpu 8
+func BenchmarkShardedChurnLocked1(b *testing.B) {
+	r, err := realloc.New(realloc.WithEpsilon(0.25), realloc.WithLocking())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelChurn(b, r)
+}
+
+func benchShardedChurn(b *testing.B, shards int) {
+	s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelChurn(b, s)
+}
+
+func BenchmarkShardedChurn2(b *testing.B) { benchShardedChurn(b, 2) }
+func BenchmarkShardedChurn4(b *testing.B) { benchShardedChurn(b, 4) }
+func BenchmarkShardedChurn8(b *testing.B) { benchShardedChurn(b, 8) }
 
 // BenchmarkPublicAPI measures the public facade's overhead.
 func BenchmarkPublicAPI(b *testing.B) {

@@ -39,10 +39,15 @@ func TestConcurrentAccess(t *testing.T) {
 						return
 					}
 				}
-				// Interleave reads.
+				// Interleave reads, including the accessors that
+				// historically bypassed the mutex.
 				_, _ = r.Extent(id)
 				_ = r.Volume()
 				_ = r.Footprint()
+				_ = r.Delta()
+				_ = r.Epsilon()
+				_ = r.Flushes()
+				_ = r.FlushActive()
 			}
 		}()
 	}
@@ -55,6 +60,70 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	want := workers * perWorker * 2 / 3
 	if got := r.Len(); got < want-workers || got > want+workers {
+		t.Fatalf("len = %d, want about %d", got, want)
+	}
+}
+
+// TestShardedConcurrentAccess hammers a ShardedReallocator from many
+// goroutines, mixing single-object traffic with cross-shard aggregate
+// reads. Run with -race to verify per-shard locking covers everything.
+func TestShardedConcurrentAccess(t *testing.T) {
+	s, err := realloc.NewSharded(
+		realloc.WithShards(4),
+		realloc.WithEpsilon(0.25),
+		realloc.WithVariant(realloc.Deamortized),
+		realloc.WithMetrics(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := int64(w*perWorker + 1)
+			for i := int64(0); i < perWorker; i++ {
+				id := base + i
+				if err := s.Insert(id, 1+id%64); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					return
+				}
+				if i%3 == 2 {
+					if err := s.Delete(id - 1); err != nil {
+						t.Errorf("delete %d: %v", id-1, err)
+						return
+					}
+				}
+				// Single-shard reads.
+				_, _ = s.Extent(id)
+				_ = s.Has(id)
+				// Cross-shard aggregates.
+				_ = s.Volume()
+				_ = s.Footprint()
+				_ = s.Delta()
+				_ = s.Epsilon()
+				_ = s.Flushes()
+				_ = s.FlushActive()
+				if i%50 == 0 {
+					_, _ = s.Stats()
+					_, _ = s.ShardStats(s.ShardOf(id))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := workers * perWorker * 2 / 3
+	if got := s.Len(); got < want-workers || got > want+workers {
 		t.Fatalf("len = %d, want about %d", got, want)
 	}
 }

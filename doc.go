@@ -32,6 +32,31 @@
 //   - Deamortized: additionally caps the work any single request performs
 //     at O((1/ε)·w·f(1) + f(∆)).
 //
+// # Concurrency and sharding
+//
+// A Reallocator is not safe for concurrent use unless built WithLocking,
+// which serializes every method behind one mutex — honest, but a
+// bottleneck under parallel load. NewSharded scales past it by hash
+// partitioning object ids across N independent reallocators, each with
+// its own mutex and its own private address space:
+//
+//	s, _ := realloc.NewSharded(realloc.WithShards(8), realloc.WithEpsilon(0.25))
+//	s.Insert(1, 4096)            // locks only shard ShardOf(1)
+//	ext, _ := s.Extent(1)        // address within that shard's space
+//
+// The paper's guarantees are per-allocator, so they partition cleanly:
+// shard i keeps its footprint within (1+ε)·V_i of its own live volume,
+// hence the summed footprint stays within (1+ε) of the total live volume
+// (per-shard additive terms now occur once per shard), and each shard's
+// reallocation cost remains O((1/ε)·log(1/ε))-competitive for every
+// subadditive cost function — a bound closed under summation. The trade
+// is that there is no single contiguous address space: a placement is
+// identified by (shard, address), and observer Events carry their Shard
+// index so a translation layer can key physical locations accordingly.
+// Operations on one object lock only its shard; aggregate reads (Len,
+// Volume, Footprint, Stats) visit shards one lock at a time and return a
+// per-shard-consistent, not globally atomic, snapshot.
+//
 // The package also exposes the paper's corollaries: a crash-consistent
 // database block store built on a translation layer (BlockStore), a
 // defragmenter that sorts objects in (1+ε)V+∆ space (SortVolume), and a

@@ -50,14 +50,21 @@ type Event struct {
 	// From and To are the old and new start addresses of a move; To is
 	// also the placement address of an insert.
 	From, To int64
-	// Footprint and Volume snapshot the structure after the event.
+	// Footprint and Volume snapshot the structure after the event. For a
+	// sharded reallocator they are per-shard quantities.
 	Footprint int64
 	Volume    int64
+	// Shard is the index of the shard that emitted the event; always 0
+	// for a plain Reallocator. Addresses (From, To) are relative to that
+	// shard's private address space.
+	Shard int
 }
 
-// observerAdapter converts internal trace events to the public type.
+// observerAdapter converts internal trace events to the public type,
+// tagging each with the emitting shard.
 type observerAdapter struct {
-	fn func(Event)
+	fn    func(Event)
+	shard int
 }
 
 func (o observerAdapter) Record(e trace.Event) {
@@ -80,7 +87,7 @@ func (o observerAdapter) Record(e trace.Event) {
 	}
 	o.fn(Event{
 		Kind: k, ID: e.ID, Size: e.Size, From: e.From, To: e.To,
-		Footprint: e.Footprint, Volume: e.Volume,
+		Footprint: e.Footprint, Volume: e.Volume, Shard: o.shard,
 	})
 }
 
@@ -113,7 +120,13 @@ func (r *Reallocator) Stats() (Stats, bool) {
 	if r.metrics == nil {
 		return Stats{}, false
 	}
-	m := r.metrics
+	defer r.lock()()
+	return statsFromMetrics(r.metrics), true
+}
+
+// statsFromMetrics converts one recorder's accumulated metrics to the
+// public Stats form; callers hold whatever lock guards m.
+func statsFromMetrics(m *trace.Metrics) Stats {
 	s := Stats{
 		Inserts:             m.Inserts,
 		Deletes:             m.Deletes,
@@ -131,5 +144,5 @@ func (r *Reallocator) Stats() (Stats, bool) {
 		s.CostRatios[l.Func] = l.Ratio
 		s.MaxOpCost[l.Func] = l.MaxOpCost
 	}
-	return s, true
+	return s
 }

@@ -1,0 +1,3 @@
+module realloc
+
+go 1.22

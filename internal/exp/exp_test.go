@@ -286,3 +286,27 @@ func TestE9Renders(t *testing.T) {
 		}
 	}
 }
+
+// TestE13Shape asserts the concurrency experiment produces throughput
+// for every configuration and that its structural checks held (E13
+// errors out on any end-state divergence). Speedup magnitudes are
+// machine-dependent and not asserted.
+func TestE13Shape(t *testing.T) {
+	res, err := E13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"shards/1/opsPerSec", "shards/2/opsPerSec",
+		"shards/4/opsPerSec", "shards/8/opsPerSec",
+	} {
+		if res.Findings[key] <= 0 {
+			t.Errorf("%s = %v, want > 0", key, res.Findings[key])
+		}
+	}
+	for _, n := range []string{"2", "4", "8"} {
+		if s := res.Findings["shards/"+n+"/speedup"]; s <= 0 {
+			t.Errorf("speedup at %s shards = %v, want > 0", n, s)
+		}
+	}
+}

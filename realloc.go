@@ -1,6 +1,7 @@
 package realloc
 
 import (
+	"errors"
 	"sync"
 
 	"realloc/internal/addrspace"
@@ -34,13 +35,15 @@ func (e Extent) End() int64 { return e.Start + e.Size }
 type Option func(*config)
 
 type config struct {
-	epsilon  float64
-	epsPrime float64
-	variant  Variant
-	observer func(Event)
-	metrics  bool
-	paranoid bool
-	locking  bool
+	epsilon   float64
+	epsPrime  float64
+	variant   Variant
+	observer  func(Event)
+	metrics   bool
+	paranoid  bool
+	locking   bool
+	shards    int
+	shardsSet bool
 }
 
 // WithEpsilon sets the footprint slack target ε in (0, 1]: the footprint
@@ -67,8 +70,15 @@ func WithInvariantChecks() Option { return func(c *config) { c.paranoid = true }
 // WithLocking serializes all methods with a mutex, making the Reallocator
 // safe for concurrent use. (The algorithm itself is inherently sequential
 // — requests are an ordered stream — so a single lock is the honest
-// concurrency model.)
+// concurrency model.) For parallel throughput beyond a single lock, see
+// NewSharded.
 func WithLocking() Option { return func(c *config) { c.locking = true } }
+
+// WithShards sets the shard count for NewSharded. It only applies to
+// NewSharded; passing it to New is an error. Default: runtime.GOMAXPROCS.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards, c.shardsSet = n, true }
+}
 
 // Reallocator is the public handle for the cost-oblivious storage
 // reallocator.
@@ -76,6 +86,29 @@ type Reallocator struct {
 	inner   *core.Reallocator
 	metrics *trace.Metrics
 	mu      *sync.Mutex // non-nil iff WithLocking
+}
+
+// newRecorder builds the recorder chain one reallocator core emits into:
+// metrics if enabled, plus the user observer tagged with the emitting
+// shard (0 for a plain Reallocator).
+func newRecorder(cfg *config, shard int) (trace.Recorder, *trace.Metrics) {
+	var recs trace.Multi
+	var m *trace.Metrics
+	if cfg.metrics {
+		m = trace.NewMetrics()
+		recs = append(recs, m)
+	}
+	if cfg.observer != nil {
+		recs = append(recs, observerAdapter{fn: cfg.observer, shard: shard})
+	}
+	switch len(recs) {
+	case 0:
+		return trace.Null{}, m
+	case 1:
+		return recs[0], m
+	default:
+		return recs, m
+	}
 }
 
 // lock acquires the optional mutex and returns its release function.
@@ -93,24 +126,10 @@ func New(opts ...Option) (*Reallocator, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var recs trace.Multi
-	var m *trace.Metrics
-	if cfg.metrics {
-		m = trace.NewMetrics()
-		recs = append(recs, m)
+	if cfg.shardsSet {
+		return nil, errors.New("realloc: WithShards requires NewSharded")
 	}
-	if cfg.observer != nil {
-		recs = append(recs, observerAdapter{cfg.observer})
-	}
-	var rec trace.Recorder
-	switch len(recs) {
-	case 0:
-		rec = trace.Null{}
-	case 1:
-		rec = recs[0]
-	default:
-		rec = recs
-	}
+	rec, m := newRecorder(&cfg, 0)
 	inner, err := core.New(core.Config{
 		Epsilon:  cfg.epsilon,
 		EpsPrime: cfg.epsPrime,
@@ -176,16 +195,28 @@ func (r *Reallocator) Footprint() int64 {
 }
 
 // Delta returns the largest object size seen (the paper's ∆).
-func (r *Reallocator) Delta() int64 { return r.inner.Delta() }
+func (r *Reallocator) Delta() int64 {
+	defer r.lock()()
+	return r.inner.Delta()
+}
 
 // Epsilon returns the configured footprint slack.
-func (r *Reallocator) Epsilon() float64 { return r.inner.Epsilon() }
+func (r *Reallocator) Epsilon() float64 {
+	defer r.lock()()
+	return r.inner.Epsilon()
+}
 
 // Flushes returns how many buffer flushes have run.
-func (r *Reallocator) Flushes() int64 { return r.inner.Flushes() }
+func (r *Reallocator) Flushes() int64 {
+	defer r.lock()()
+	return r.inner.Flushes()
+}
 
 // FlushActive reports whether a deamortized flush is mid-execution.
-func (r *Reallocator) FlushActive() bool { return r.inner.FlushActive() }
+func (r *Reallocator) FlushActive() bool {
+	defer r.lock()()
+	return r.inner.FlushActive()
+}
 
 // Drain completes any in-progress deamortized flush.
 func (r *Reallocator) Drain() error {

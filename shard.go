@@ -1,0 +1,336 @@
+package realloc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// ShardedReallocator scales the cost-oblivious reallocator across
+// goroutines by hash-partitioning object ids over n independent cores,
+// each guarded by its own mutex and owning a private address space.
+//
+// The paper's guarantees are per-allocator, so they survive partitioning
+// shard by shard: shard i keeps its footprint within (1+ε)·V_i of its own
+// live volume V_i, and therefore the summed footprint stays within (1+ε)
+// of the total live volume (plus the per-shard additive terms, which now
+// occur once per shard rather than once). The cost bound is likewise
+// preserved: each shard's reallocation cost is O((1/ε)·log(1/ε)) times
+// its own allocation cost for every subadditive cost function, and the
+// bound is closed under summation. What sharding gives up is a single
+// contiguous address space: an extent's address is relative to its
+// shard's space, so callers mapping placements to physical storage must
+// key by (shard, address) — every observer Event carries its Shard index
+// for exactly this purpose.
+//
+// Operations on a single object (Insert, Delete, Extent, Has) take only
+// that object's shard lock and run in parallel across shards. Aggregate
+// reads (Len, Volume, Footprint, ...) visit the shards one lock at a
+// time; under concurrent mutation they return a consistent per-shard but
+// not globally-atomic snapshot.
+type ShardedReallocator struct {
+	shards  []*shard
+	epsilon float64
+}
+
+// shard pairs one sequential core with its own lock and recorders.
+type shard struct {
+	mu      sync.Mutex
+	inner   *core.Reallocator
+	metrics *trace.Metrics
+}
+
+// NewSharded creates a ShardedReallocator. It accepts the same options as
+// New — WithShards picks the shard count (default runtime.GOMAXPROCS),
+// WithLocking is implied, and a WithObserver callback must be safe for
+// concurrent use because shards emit events in parallel. The callback
+// runs while the emitting shard's lock is held: it must not call back
+// into the reallocator, or it will deadlock.
+func NewSharded(opts ...Option) (*ShardedReallocator, error) {
+	cfg := config{epsilon: 0.25}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := cfg.shards
+	if !cfg.shardsSet {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, errors.New("realloc: shard count must be >= 1")
+	}
+	s := &ShardedReallocator{shards: make([]*shard, n), epsilon: cfg.epsilon}
+	for i := range s.shards {
+		rec, m := newRecorder(&cfg, i)
+		inner, err := core.New(core.Config{
+			Epsilon:  cfg.epsilon,
+			EpsPrime: cfg.epsPrime,
+			Variant:  core.Variant(cfg.variant),
+			Recorder: rec,
+			Paranoid: cfg.paranoid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = &shard{inner: inner, metrics: m}
+	}
+	return s, nil
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective scrambler that
+// spreads sequential ids evenly across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the index of the shard that owns id. The mapping is
+// stable for the lifetime of the reallocator.
+func (s *ShardedReallocator) ShardOf(id int64) int {
+	return int(mix64(uint64(id)) % uint64(len(s.shards)))
+}
+
+func (s *ShardedReallocator) shardFor(id int64) *shard {
+	return s.shards[s.ShardOf(id)]
+}
+
+// Shards returns the shard count.
+func (s *ShardedReallocator) Shards() int { return len(s.shards) }
+
+// Insert services 〈InsertObject, id, size〉 on the owning shard.
+func (s *ShardedReallocator) Insert(id int64, size int64) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inner.Insert(addrspace.ID(id), size)
+}
+
+// Delete services 〈DeleteObject, id〉 on the owning shard.
+func (s *ShardedReallocator) Delete(id int64) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inner.Delete(addrspace.ID(id))
+}
+
+// Extent returns the object's current placement within its shard's
+// private address space; combine with ShardOf(id) for a globally unique
+// physical location.
+func (s *ShardedReallocator) Extent(id int64) (Extent, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.inner.Extent(addrspace.ID(id))
+	return Extent{Start: e.Start, Size: e.Size}, ok
+}
+
+// Has reports whether the object is live.
+func (s *ShardedReallocator) Has(id int64) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inner.Has(addrspace.ID(id))
+}
+
+// Len returns the number of live objects across all shards.
+func (s *ShardedReallocator) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.inner.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Volume returns the total live volume V summed over shards.
+func (s *ShardedReallocator) Volume() int64 {
+	var v int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		v += sh.inner.Volume()
+		sh.mu.Unlock()
+	}
+	return v
+}
+
+// Footprint returns the summed per-shard footprint: each shard keeps its
+// own footprint within (1+ε)·V_shard, so the sum stays within (1+ε) of
+// the total live volume.
+func (s *ShardedReallocator) Footprint() int64 {
+	var f int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		f += sh.inner.Footprint()
+		sh.mu.Unlock()
+	}
+	return f
+}
+
+// ShardFootprint returns shard i's own footprint.
+func (s *ShardedReallocator) ShardFootprint(i int) int64 {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inner.Footprint()
+}
+
+// ShardVolume returns shard i's live volume.
+func (s *ShardedReallocator) ShardVolume(i int) int64 {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inner.Volume()
+}
+
+// Delta returns the largest object size seen by any shard (the paper's
+// ∆; per-shard additive terms use each shard's own ∆, which is at most
+// this).
+func (s *ShardedReallocator) Delta() int64 {
+	var d int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sd := sh.inner.Delta(); sd > d {
+			d = sd
+		}
+		sh.mu.Unlock()
+	}
+	return d
+}
+
+// Epsilon returns the configured footprint slack (shared by all shards).
+func (s *ShardedReallocator) Epsilon() float64 { return s.epsilon }
+
+// Flushes returns the total buffer flushes summed over shards.
+func (s *ShardedReallocator) Flushes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.inner.Flushes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// FlushActive reports whether any shard has a deamortized flush
+// mid-execution.
+func (s *ShardedReallocator) FlushActive() bool {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		active := sh.inner.FlushActive()
+		sh.mu.Unlock()
+		if active {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain completes any in-progress deamortized flush on every shard.
+func (s *ShardedReallocator) Drain() error {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.inner.Drain()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ForEach visits live objects shard by shard in shard-index order, in
+// address order within each shard. Each shard's lock is held while its
+// objects are visited: fn must not call back into the reallocator.
+func (s *ShardedReallocator) ForEach(fn func(id int64, ext Extent)) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.inner.ForEach(func(id addrspace.ID, e addrspace.Extent) {
+			fn(int64(id), Extent{Start: e.Start, Size: e.Size})
+		})
+		sh.mu.Unlock()
+	}
+}
+
+// CheckInvariants validates every shard's full structure; see
+// WithInvariantChecks.
+func (s *ShardedReallocator) CheckInvariants() error {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.inner.CheckInvariants()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ShardStats returns shard i's own accumulated metrics; ok=false unless
+// the reallocator was built WithMetrics.
+func (s *ShardedReallocator) ShardStats(i int) (Stats, bool) {
+	sh := s.shards[i]
+	if sh.metrics == nil {
+		return Stats{}, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return statsFromMetrics(sh.metrics), true
+}
+
+// Stats returns metrics aggregated over all shards: counters are summed,
+// MaxFootprintRatio is the worst per-shard ratio (the quantity each
+// shard's (1+ε) bound actually constrains), and each cost ratio is the
+// summed reallocation cost over the summed allocation cost. It returns
+// ok=false unless the reallocator was built WithMetrics.
+func (s *ShardedReallocator) Stats() (Stats, bool) {
+	if s.shards[0].metrics == nil {
+		return Stats{}, false
+	}
+	agg := Stats{CostRatios: map[string]float64{}, MaxOpCost: map[string]float64{}}
+	alloc := map[string]float64{}
+	realloc := map[string]float64{}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		m := sh.metrics
+		agg.Inserts += m.Inserts
+		agg.Deletes += m.Deletes
+		agg.Moves += m.MovesTotal
+		agg.MovedVolume += m.MovedVolume
+		if m.MaxRatioQuiescent > agg.MaxFootprintRatio {
+			agg.MaxFootprintRatio = m.MaxRatioQuiescent
+		}
+		agg.Flushes += m.Flushes
+		agg.Checkpoints += m.CheckpointsTotal
+		if m.MaxCheckpointsFlush > agg.MaxCheckpointsFlush {
+			agg.MaxCheckpointsFlush = m.MaxCheckpointsFlush
+		}
+		if m.MaxOpMovedVolume > agg.MaxOpMovedVolume {
+			agg.MaxOpMovedVolume = m.MaxOpMovedVolume
+		}
+		for _, l := range m.Meter.Lines() {
+			alloc[l.Func] += l.AllocCost
+			realloc[l.Func] += l.ReallocCost
+			if l.MaxOpCost > agg.MaxOpCost[l.Func] {
+				agg.MaxOpCost[l.Func] = l.MaxOpCost
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for f, a := range alloc {
+		if a > 0 {
+			agg.CostRatios[f] = realloc[f] / a
+		} else {
+			agg.CostRatios[f] = 0
+		}
+	}
+	return agg, true
+}

@@ -1,0 +1,230 @@
+package realloc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"realloc"
+	"realloc/internal/workload"
+)
+
+// driveBoth applies the same deterministic churn stream to a single-core
+// and a sharded reallocator and returns both.
+func driveBoth(t *testing.T, shards int, ops int) (*realloc.Reallocator, *realloc.ShardedReallocator) {
+	t.Helper()
+	single, err := realloc.New(realloc.WithEpsilon(0.25), realloc.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := realloc.NewSharded(
+		realloc.WithShards(shards), realloc.WithEpsilon(0.25), realloc.WithMetrics(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &workload.Churn{Seed: 42, Sizes: workload.Uniform{Min: 1, Max: 128}, TargetVolume: 40000}
+	for i := 0; i < ops; i++ {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		var errS, errP error
+		if op.Insert {
+			errS = single.Insert(int64(op.ID), op.Size)
+			errP = sharded.Insert(int64(op.ID), op.Size)
+		} else {
+			errS = single.Delete(int64(op.ID))
+			errP = sharded.Delete(int64(op.ID))
+		}
+		if errS != nil || errP != nil {
+			t.Fatalf("op %d (%+v): single=%v sharded=%v", i, op, errS, errP)
+		}
+	}
+	if err := single.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return single, sharded
+}
+
+// TestShardedEquivalence applies one operation stream to a single-core
+// and a sharded reallocator: the live sets and volumes must match
+// exactly, every shard must satisfy the full structural invariants, and
+// the summed sharded footprint must honor the (1+eps) per-shard bound.
+func TestShardedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			single, sharded := driveBoth(t, shards, 6000)
+
+			if got, want := sharded.Len(), single.Len(); got != want {
+				t.Fatalf("len: sharded=%d single=%d", got, want)
+			}
+			if got, want := sharded.Volume(), single.Volume(); got != want {
+				t.Fatalf("volume: sharded=%d single=%d", got, want)
+			}
+			if got, want := sharded.Delta(), single.Delta(); got != want {
+				t.Fatalf("delta: sharded=%d single=%d", got, want)
+			}
+
+			// Identical live sets with identical sizes.
+			want := map[int64]int64{}
+			single.ForEach(func(id int64, ext realloc.Extent) { want[id] = ext.Size })
+			got := map[int64]int64{}
+			sharded.ForEach(func(id int64, ext realloc.Extent) {
+				if _, dup := got[id]; dup {
+					t.Errorf("id %d visited twice", id)
+				}
+				got[id] = ext.Size
+			})
+			if len(got) != len(want) {
+				t.Fatalf("live set size: sharded=%d single=%d", len(got), len(want))
+			}
+			for id, sz := range want {
+				if got[id] != sz {
+					t.Fatalf("id %d: sharded size %d, single size %d", id, got[id], sz)
+				}
+				if !sharded.Has(id) {
+					t.Fatalf("id %d missing from sharded", id)
+				}
+				if ext, ok := sharded.Extent(id); !ok || ext.Size != sz {
+					t.Fatalf("id %d extent: ok=%v size=%d want %d", id, ok, ext.Size, sz)
+				}
+			}
+
+			// Per-shard structural invariants.
+			if err := sharded.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Per-shard footprint bound, hence the summed bound. The
+			// steady-state guarantee is per shard: footprint_i <=
+			// (1+eps)*V_i (quiescent, after drain).
+			const eps = 0.25
+			var sum int64
+			for i := 0; i < sharded.Shards(); i++ {
+				f, v := sharded.ShardFootprint(i), sharded.ShardVolume(i)
+				if float64(f) > (1+eps)*float64(v)+float64(sharded.Delta()) {
+					t.Fatalf("shard %d footprint %d exceeds (1+eps)*%d + delta", i, f, v)
+				}
+				sum += f
+			}
+			if sum != sharded.Footprint() {
+				t.Fatalf("footprint sum %d != Footprint() %d", sum, sharded.Footprint())
+			}
+			if maxF := (1 + eps) * float64(sharded.Volume()); float64(sum) > maxF+float64(sharded.Shards())*float64(sharded.Delta()) {
+				t.Fatalf("summed footprint %d exceeds (1+eps)*V = %v plus slack", sum, maxF)
+			}
+
+			// Aggregated stats line up with the request stream.
+			st, ok := sharded.Stats()
+			if !ok {
+				t.Fatal("stats not enabled")
+			}
+			ss, _ := single.Stats()
+			if st.Inserts != ss.Inserts || st.Deletes != ss.Deletes {
+				t.Fatalf("op counts: sharded %d/%d, single %d/%d",
+					st.Inserts, st.Deletes, ss.Inserts, ss.Deletes)
+			}
+		})
+	}
+}
+
+// TestShardedEvents verifies the observer pipeline: every event carries
+// the emitting shard's index, consistent with ShardOf, and insert events
+// cover exactly the inserted ids.
+func TestShardedEvents(t *testing.T) {
+	var mu sync.Mutex
+	inserted := map[int64]int{}
+	s, err := realloc.NewSharded(
+		realloc.WithShards(4),
+		realloc.WithObserver(func(e realloc.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if e.Kind == realloc.EventInsert {
+				inserted[e.ID] = e.Shard
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for id := int64(1); id <= n; id++ {
+		if err := s.Insert(id, 1+id%32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inserted) != n {
+		t.Fatalf("observed %d insert events, want %d", len(inserted), n)
+	}
+	used := map[int]bool{}
+	for id, shard := range inserted {
+		if want := s.ShardOf(id); shard != want {
+			t.Fatalf("id %d tagged shard %d, ShardOf says %d", id, shard, want)
+		}
+		used[shard] = true
+	}
+	// With 500 scrambled ids over 4 shards, every shard must see traffic.
+	if len(used) != 4 {
+		t.Fatalf("only %d of 4 shards received inserts", len(used))
+	}
+}
+
+// TestShardedOptionValidation covers the constructor surface.
+func TestShardedOptionValidation(t *testing.T) {
+	if _, err := realloc.New(realloc.WithShards(4)); err == nil {
+		t.Fatal("New should reject WithShards")
+	}
+	if _, err := realloc.New(realloc.WithShards(0)); err == nil {
+		t.Fatal("New should reject WithShards even with 0 shards")
+	}
+	if _, err := realloc.NewSharded(realloc.WithShards(-1)); err == nil {
+		t.Fatal("NewSharded should reject negative shard counts")
+	}
+	if _, err := realloc.NewSharded(realloc.WithShards(0)); err == nil {
+		t.Fatal("NewSharded should reject an explicit zero shard count")
+	}
+	s, err := realloc.NewSharded() // default shard count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() < 1 {
+		t.Fatalf("default shards = %d", s.Shards())
+	}
+	if _, ok := s.Stats(); ok {
+		t.Fatal("stats should be disabled without WithMetrics")
+	}
+	if _, ok := s.ShardStats(0); ok {
+		t.Fatal("shard stats should be disabled without WithMetrics")
+	}
+}
+
+// TestShardedErrors mirrors the single-core error surface.
+func TestShardedErrors(t *testing.T) {
+	s, err := realloc.NewSharded(realloc.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(7, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(7, 10); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if err := s.Delete(8); err == nil {
+		t.Fatal("delete of unknown id should fail")
+	}
+	if s.Has(8) {
+		t.Fatal("Has(8) after failed insert")
+	}
+	if _, ok := s.Extent(8); ok {
+		t.Fatal("Extent(8) should be absent")
+	}
+}
