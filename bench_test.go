@@ -10,6 +10,7 @@ package realloc_test
 import (
 	"math/rand/v2"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -239,6 +240,74 @@ func benchShardedChurn(b *testing.B, shards int) {
 func BenchmarkShardedChurn2(b *testing.B) { benchShardedChurn(b, 2) }
 func BenchmarkShardedChurn4(b *testing.B) { benchShardedChurn(b, 4) }
 func BenchmarkShardedChurn8(b *testing.B) { benchShardedChurn(b, 8) }
+
+// benchShardedSkew replays a zipf-skewed churn stream — most of the live
+// volume aimed at one static hash home — across 8 workers, with the
+// stream partitioned by id so per-id op order is preserved. The static
+// build pays twice for the skew: workers serialize on the hot shard's
+// lock, and that shard's per-op churn cost grows superlinearly with its
+// live volume (see ROADMAP); the rebalancing build levels the volume and
+// escapes both. Compare:
+//
+//	go test -bench ShardedSkew8 -cpu 8
+func benchShardedSkew(b *testing.B, rebal bool) {
+	const shards, workers = 8, 8
+	gen := &workload.ZipfChurn{
+		Seed:         99,
+		Sizes:        workload.Uniform{Min: 1, Max: 128},
+		TargetVolume: 3200000,
+		Homes:        shards,
+		S:            1.8,
+	}
+	seqs := make([][]workload.Op, workers)
+	for _, op := range workload.Collect(gen, b.N) {
+		w := int(op.ID) % workers
+		seqs[w] = append(seqs[w], op)
+	}
+	opts := []realloc.Option{realloc.WithShards(shards), realloc.WithEpsilon(0.25)}
+	if rebal {
+		opts = append(opts, realloc.WithRebalance(realloc.RebalancePolicy{
+			Mode:         realloc.RebalanceInline,
+			Threshold:    1.25,
+			CheckEvery:   32,
+			BatchObjects: 512,
+		}))
+	}
+	s, err := realloc.NewSharded(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seq []workload.Op) {
+			defer wg.Done()
+			for _, op := range seq {
+				var err error
+				if op.Insert {
+					err = s.Insert(int64(op.ID), op.Size)
+				} else {
+					err = s.Delete(int64(op.ID))
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(seqs[w])
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkShardedSkew8(b *testing.B) {
+	b.Run("static", func(b *testing.B) { benchShardedSkew(b, false) })
+	b.Run("rebalance", func(b *testing.B) { benchShardedSkew(b, true) })
+}
 
 // BenchmarkPublicAPI measures the public facade's overhead.
 func BenchmarkPublicAPI(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	reallocbench [-e E1|E2|...|E13|all] [-seed N] [-ops N] [-quick] [-list]
+//	reallocbench [-e E1|E2|...|E14|all] [-seed N] [-ops N] [-quick] [-list]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("e", "all", "experiment to run (E1..E13 or 'all')")
+		which = flag.String("e", "all", "experiment to run (E1..E14 or 'all')")
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		ops   = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
 		quick = flag.Bool("quick", false, "reduced scale for a fast pass")

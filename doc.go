@@ -57,6 +57,35 @@
 // Volume, Footprint, Stats) visit shards one lock at a time and return a
 // per-shard-consistent, not globally atomic, snapshot.
 //
+// # Rebalancing
+//
+// Hash partitioning is static, so a skewed id population can pile most
+// of the live volume onto one shard. WithRebalance replaces the fixed
+// mapping with a routed id→shard table and arms a rebalancer that
+// watches per-shard live volume and, once max/mean exceeds the policy
+// threshold, migrates bounded batches of objects from overloaded to
+// underloaded shards, rerouting their ids:
+//
+//	s, _ := realloc.NewSharded(realloc.WithShards(8),
+//	    realloc.WithRebalance(realloc.RebalancePolicy{Mode: realloc.RebalanceInline}))
+//	defer s.Close()
+//
+// Why the bounds survive migration: every guarantee in the paper is
+// stated for a single allocator against an arbitrary request stream.
+// A migration is exactly one 〈DeleteObject〉 on the source shard and one
+// 〈InsertObject〉 on the target shard, so each side is still just serving
+// its own stream — the source's next flush reclaims the vacated space,
+// keeping footprint_i ≤ (1+ε)·V_i, and the target's insert is a normal
+// allocation covered by its own cost bound. Summing over shards, the
+// global footprint stays within (1+ε) of the total live volume (plus
+// the per-shard additive terms) and the reallocation cost stays
+// O((1/ε)·log(1/ε))-competitive for every subadditive f, before, during,
+// and after any sequence of migrations. What changes is only *which*
+// shard pays, which is the point: volume moves off the overloaded lock.
+// Observers see each migration as an EventDelete on the source, an
+// EventInsert on the target, then an EventMigrate carrying both shard
+// indices.
+//
 // The package also exposes the paper's corollaries: a crash-consistent
 // database block store built on a translation layer (BlockStore), a
 // defragmenter that sorts objects in (1+ε)V+∆ space (SortVolume), and a

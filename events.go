@@ -20,6 +20,15 @@ const (
 	// EventFlushStart and EventFlushEnd bracket buffer flushes.
 	EventFlushStart
 	EventFlushEnd
+	// EventMigrate fires when the rebalancer moves an object between
+	// shards: FromShard/From are the old shard and address, Shard/To the
+	// new ones. The sharded layer also emits the underlying EventDelete
+	// on the source shard and EventInsert on the target shard (in that
+	// order, before the EventMigrate), so a translation layer keyed on
+	// (shard, address) that replays inserts/deletes/moves alone already
+	// stays exact; EventMigrate adds the cross-shard linkage for
+	// observers that track object identity.
+	EventMigrate
 )
 
 func (k EventKind) String() string {
@@ -36,6 +45,8 @@ func (k EventKind) String() string {
 		return "flush-start"
 	case EventFlushEnd:
 		return "flush-end"
+	case EventMigrate:
+		return "migrate"
 	default:
 		return "unknown"
 	}
@@ -58,6 +69,9 @@ type Event struct {
 	// for a plain Reallocator. Addresses (From, To) are relative to that
 	// shard's private address space.
 	Shard int
+	// FromShard is the source shard of an EventMigrate (whose From
+	// address is relative to it); equal to Shard for every other kind.
+	FromShard int
 }
 
 // observerAdapter converts internal trace events to the public type,
@@ -87,7 +101,7 @@ func (o observerAdapter) Record(e trace.Event) {
 	}
 	o.fn(Event{
 		Kind: k, ID: e.ID, Size: e.Size, From: e.From, To: e.To,
-		Footprint: e.Footprint, Volume: e.Volume, Shard: o.shard,
+		Footprint: e.Footprint, Volume: e.Volume, Shard: o.shard, FromShard: o.shard,
 	})
 }
 
@@ -112,6 +126,17 @@ type Stats struct {
 	Checkpoints         int64
 	MaxCheckpointsFlush int64
 	MaxOpMovedVolume    int64
+	// Migrations and MigratedVolume count the objects (and cells) the
+	// rebalancer moved across shards; always 0 for a plain Reallocator.
+	Migrations     int64
+	MigratedVolume int64
+	// MaxShardVolume, MinShardVolume and VolumeSpread (max/mean, the
+	// rebalancer's trigger quantity) describe the per-shard live-volume
+	// spread at the moment of the Stats call; zero for a plain
+	// Reallocator.
+	MaxShardVolume int64
+	MinShardVolume int64
+	VolumeSpread   float64
 }
 
 // Stats returns the accumulated metrics; it returns ok=false unless the

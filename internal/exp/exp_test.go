@@ -310,3 +310,37 @@ func TestE13Shape(t *testing.T) {
 		}
 	}
 }
+
+// TestE14Shape asserts the rebalancing experiment's headline claims: the
+// static partition's live volume concentrates past 4x the mean while
+// rebalancing holds the spread within 2x, the footprint bound survives
+// the migrations, and objects actually moved. Throughput magnitudes are
+// machine-dependent and only checked for presence.
+func TestE14Shape(t *testing.T) {
+	res, err := E14(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Findings["static/maxSpread"]; s <= 4 {
+		t.Errorf("static spread = %.2fx, want > 4x", s)
+	}
+	if s := res.Findings["rebalanced/maxSpread"]; s > 2 {
+		t.Errorf("rebalanced spread = %.2fx, want <= 2x", s)
+	}
+	// eps=0.25 plus the per-shard additive terms (8 shards, Delta <= 128,
+	// V ~= 40000 in the sampled steady half).
+	const bound = 1.25 + 8*128.0/40000 + 0.02
+	for _, cfg := range []string{"static", "rebalanced"} {
+		if r := res.Findings[cfg+"/maxFootprintRatio"]; r <= 0 || r > bound {
+			t.Errorf("%s footprint ratio = %v, want in (0, %v]", cfg, r, bound)
+		}
+	}
+	if m := res.Findings["rebalanced/migratedObjects"]; m < 1 {
+		t.Errorf("no objects migrated (%v)", m)
+	}
+	for _, key := range []string{"static/opsPerSec", "rebalanced/opsPerSec"} {
+		if res.Findings[key] <= 0 {
+			t.Errorf("%s = %v, want > 0", key, res.Findings[key])
+		}
+	}
+}

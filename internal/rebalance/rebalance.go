@@ -1,0 +1,189 @@
+// Package rebalance implements the decision half of cross-shard
+// rebalancing for the sharded reallocator: skew detection over per-shard
+// live volumes and the planning of bounded migration batches that level
+// them. The package is pure — it never touches locks or reallocator
+// state — so the policies are unit-testable in isolation; the execution
+// half (deterministic lock order, delete-from-source + insert-into-target,
+// event emission) lives in the realloc package.
+//
+// Why migration is safe: the paper's guarantees are per-allocator. Each
+// shard keeps its footprint within (1+ε) of its own live volume and its
+// reallocation cost O((1/ε)·log(1/ε))-competitive for every subadditive
+// cost function, no matter which request stream it sees. A migration is
+// just one more delete on the source shard and one more insert on the
+// target shard, so both bounds keep holding on both sides, and both are
+// closed under summation — moving volume between shards changes which
+// shard pays, never the global bound.
+package rebalance
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode selects when the rebalancer runs.
+type Mode int
+
+const (
+	// Background runs a threshold-triggered sweep on a ticker goroutine.
+	Background Mode = iota
+	// Inline checks skew every CheckEvery mutating requests, on the
+	// request path, and steals a migration batch when the threshold
+	// trips.
+	Inline
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Background:
+		return "background"
+	case Inline:
+		return "inline"
+	default:
+		return "unknown"
+	}
+}
+
+// settleRatio is the post-sweep target: once triggered, a sweep levels
+// shards until max/mean falls to this, giving hysteresis below the
+// trigger threshold so sweeps don't oscillate.
+const settleRatio = 1.05
+
+// Policy configures a rebalancer.
+type Policy struct {
+	// Mode selects background sweeps or inline work-stealing.
+	Mode Mode
+	// Threshold is the imbalance trigger θ: a sweep starts when
+	// max(shard volume)/mean(shard volume) exceeds it. Must be > 1.
+	Threshold float64
+	// BatchObjects bounds how many objects one planned move migrates.
+	BatchObjects int
+	// CheckEvery is the inline mode's skew-check period in mutating
+	// requests.
+	CheckEvery int
+	// Interval is the background mode's sweep period.
+	Interval time.Duration
+}
+
+// WithDefaults fills zero fields with the defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.Threshold == 0 {
+		p.Threshold = 1.5
+	}
+	if p.BatchObjects == 0 {
+		p.BatchObjects = 256
+	}
+	if p.CheckEvery == 0 {
+		p.CheckEvery = 64
+	}
+	if p.Interval == 0 {
+		p.Interval = 2 * time.Millisecond
+	}
+	return p
+}
+
+// Validate rejects unusable policies (after WithDefaults).
+func (p Policy) Validate() error {
+	if !(p.Threshold > 1) {
+		return fmt.Errorf("rebalance: threshold must be > 1, got %g", p.Threshold)
+	}
+	if p.BatchObjects < 1 {
+		return fmt.Errorf("rebalance: batch size must be >= 1, got %d", p.BatchObjects)
+	}
+	if p.CheckEvery < 1 {
+		return fmt.Errorf("rebalance: check period must be >= 1, got %d", p.CheckEvery)
+	}
+	if p.Interval <= 0 {
+		return fmt.Errorf("rebalance: interval must be > 0, got %v", p.Interval)
+	}
+	return nil
+}
+
+// Skew returns the imbalance ratio max/mean of the per-shard volumes; it
+// is 0 when there is no volume and 1 when perfectly level.
+func Skew(vols []int64) float64 {
+	if len(vols) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, v := range vols {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(vols))
+	return float64(max) / mean
+}
+
+// Move is one planned migration: shift up to Volume cells of live objects
+// from shard From to shard To.
+type Move struct {
+	From, To int
+	Volume   int64
+}
+
+// PlanMoves returns the migration batch that levels vols once the
+// imbalance ratio exceeds threshold; it returns nil while the ratio is in
+// bounds. Planning is greedy — repeatedly shift the overfull shard's
+// excess toward the emptiest shard — and stops at settleRatio, so a
+// triggered sweep lands well below the trigger and does not oscillate.
+// Volumes are advisory budgets: the executor also bounds each move by
+// Policy.BatchObjects.
+func PlanMoves(vols []int64, threshold float64) []Move {
+	n := len(vols)
+	if n < 2 {
+		return nil
+	}
+	var total int64
+	for _, v := range vols {
+		total += v
+	}
+	if total == 0 {
+		return nil
+	}
+	mean := float64(total) / float64(n)
+	if Skew(vols) <= threshold {
+		return nil
+	}
+	// A threshold tighter than the usual settle target must still level
+	// below itself, or every triggered sweep would plan nothing and the
+	// trigger would fire forever.
+	settle := settleRatio
+	if threshold < settle {
+		settle = threshold
+	}
+	w := make([]int64, n)
+	copy(w, vols)
+	var moves []Move
+	for iter := 0; iter < 2*n; iter++ {
+		hi, lo := 0, 0
+		for i, v := range w {
+			if v > w[hi] {
+				hi = i
+			}
+			if v < w[lo] {
+				lo = i
+			}
+		}
+		if float64(w[hi]) <= settle*mean {
+			break
+		}
+		excess := float64(w[hi]) - mean
+		deficit := mean - float64(w[lo])
+		amt := int64(excess)
+		if deficit < excess {
+			amt = int64(deficit)
+		}
+		if amt < 1 {
+			break
+		}
+		moves = append(moves, Move{From: hi, To: lo, Volume: amt})
+		w[hi] -= amt
+		w[lo] += amt
+	}
+	return moves
+}

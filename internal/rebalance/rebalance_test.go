@@ -1,0 +1,128 @@
+package rebalance
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		name string
+		vols []int64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []int64{0, 0, 0}, 0},
+		{"level", []int64{100, 100, 100, 100}, 1},
+		{"one hot", []int64{300, 100, 100, 100}, 2},
+		{"single shard", []int64{42}, 1},
+	}
+	for _, c := range cases {
+		if got := Skew(c.vols); got != c.want {
+			t.Errorf("%s: Skew(%v) = %g, want %g", c.name, c.vols, got, c.want)
+		}
+	}
+}
+
+func TestPlanMovesBelowThresholdIsNil(t *testing.T) {
+	if m := PlanMoves([]int64{120, 100, 100, 80}, 1.5); m != nil {
+		t.Fatalf("in-bounds volumes planned moves: %v", m)
+	}
+	if m := PlanMoves([]int64{1000}, 1.5); m != nil {
+		t.Fatalf("single shard planned moves: %v", m)
+	}
+	if m := PlanMoves([]int64{0, 0, 0}, 1.5); m != nil {
+		t.Fatalf("zero volume planned moves: %v", m)
+	}
+}
+
+// TestPlanMovesLevels applies the planned moves and checks the result
+// settles below the trigger threshold without inventing or losing volume.
+func TestPlanMovesLevels(t *testing.T) {
+	cases := [][]int64{
+		{8000, 100, 100, 100, 100, 100, 100, 100},
+		{100, 0},
+		{500, 500, 500, 5000},
+		{9, 1, 1, 1, 1, 1, 1, 1},
+	}
+	for _, vols := range cases {
+		var before int64
+		for _, v := range vols {
+			before += v
+		}
+		moves := PlanMoves(vols, 1.5)
+		if len(moves) == 0 {
+			t.Fatalf("skewed volumes %v planned no moves", vols)
+		}
+		w := append([]int64(nil), vols...)
+		for _, m := range moves {
+			if m.From == m.To {
+				t.Fatalf("self-move in plan for %v: %+v", vols, m)
+			}
+			if m.Volume < 1 {
+				t.Fatalf("empty move in plan for %v: %+v", vols, m)
+			}
+			w[m.From] -= m.Volume
+			w[m.To] += m.Volume
+		}
+		var after int64
+		for i, v := range w {
+			if v < 0 {
+				t.Fatalf("plan for %v drives shard %d negative: %v", vols, i, w)
+			}
+			after += v
+		}
+		if after != before {
+			t.Fatalf("plan for %v changed total volume %d -> %d", vols, before, after)
+		}
+		// settleRatio + 1 cell of integer rounding slack per move.
+		if s := Skew(w); s > settleRatio+0.1 {
+			t.Fatalf("plan for %v settles at skew %g: %v", vols, s, w)
+		}
+	}
+}
+
+// TestPlanMovesTightThreshold: a threshold below the usual settle target
+// must still produce a plan that settles below itself — otherwise every
+// triggered sweep would plan nothing and the trigger would fire forever.
+func TestPlanMovesTightThreshold(t *testing.T) {
+	vols := []int64{1040, 1000, 1000, 960}
+	const threshold = 1.02 // skew is 1.04: triggered
+	moves := PlanMoves(vols, threshold)
+	if len(moves) == 0 {
+		t.Fatalf("tight threshold planned no moves for %v", vols)
+	}
+	w := append([]int64(nil), vols...)
+	for _, m := range moves {
+		w[m.From] -= m.Volume
+		w[m.To] += m.Volume
+	}
+	if s := Skew(w); s > threshold {
+		t.Fatalf("plan settles at %g, above its own threshold %g: %v", s, threshold, w)
+	}
+}
+
+func TestPolicyDefaultsAndValidate(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	if p.Threshold <= 1 || p.BatchObjects < 1 || p.CheckEvery < 1 || p.Interval <= 0 {
+		t.Fatalf("defaults incomplete: %+v", p)
+	}
+	bad := []Policy{
+		{Threshold: 1, BatchObjects: 1, CheckEvery: 1, Interval: time.Millisecond},
+		{Threshold: 0.5, BatchObjects: 1, CheckEvery: 1, Interval: time.Millisecond},
+		{Threshold: 2, BatchObjects: 0, CheckEvery: 1, Interval: time.Millisecond},
+		{Threshold: 2, BatchObjects: 1, CheckEvery: 0, Interval: time.Millisecond},
+		{Threshold: 2, BatchObjects: 1, CheckEvery: 1, Interval: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: policy %+v validated", i, p)
+		}
+	}
+	if Background.String() != "background" || Inline.String() != "inline" {
+		t.Fatal("mode names changed")
+	}
+}

@@ -1,0 +1,22 @@
+// Package shardhash is the one shared definition of the static id→shard
+// hash: the SplitMix64 finalizer reduced modulo the shard count. The
+// sharded reallocator uses it as the default (pre-rebalancing) route, and
+// the skewed workload generators use it to construct id populations whose
+// hash homes concentrate on chosen shards.
+package shardhash
+
+// Mix64 is the SplitMix64 finalizer: a cheap bijective scrambler that
+// spreads sequential ids evenly across shards.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Home returns the static hash home of id among n shards.
+func Home(id int64, n int) int {
+	return int(Mix64(uint64(id)) % uint64(n))
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/shardhash"
+)
+
+// ZipfChurn is churn whose id selection is Zipf-skewed across hash homes:
+// each insert first draws a home h from a Zipf distribution over the
+// Homes static shard slots (weight (h+1)^-S), then takes the next fresh
+// id whose hash home is h. Deletes pick victims uniformly among live
+// objects, which preserves the skew of the live population. Against a
+// statically hash-partitioned reallocator with Homes shards this
+// concentrates most of the live volume on shard 0 — the workload that
+// collapses parallel throughput to a single lock and that rebalancing is
+// built to level.
+type ZipfChurn struct {
+	Seed         uint64
+	Sizes        SizeDist
+	TargetVolume int64
+	// Homes is the number of static shard slots the skew is aimed at;
+	// values < 2 degenerate to uniform churn.
+	Homes int
+	// S is the Zipf exponent; larger is more skewed. Default 1.6.
+	S float64
+	// InsertBias in [0,1] skews the steady phase; 0.5 holds volume level.
+	InsertBias float64
+	// FirstID offsets the id space (default 1), letting concurrent
+	// streams draw disjoint ids that still follow the Zipf home law —
+	// remapping ids after the fact would re-hash them and erase the skew.
+	FirstID addrspace.ID
+
+	rng    *rand.Rand
+	cdf    []float64
+	live   []addrspace.ID
+	sizes  map[addrspace.ID]int64
+	vol    int64
+	nextID addrspace.ID
+}
+
+// Name implements Stream.
+func (z *ZipfChurn) Name() string {
+	return fmt.Sprintf("zipf-churn(%s,V=%d,homes=%d,s=%g)", z.Sizes.Name(), z.TargetVolume, z.Homes, z.S)
+}
+
+func (z *ZipfChurn) init() {
+	if z.rng != nil {
+		return
+	}
+	z.rng = rand.New(rand.NewPCG(z.Seed, 0x21f0c4e1))
+	z.sizes = make(map[addrspace.ID]int64)
+	z.nextID = 1
+	if z.FirstID > 0 {
+		z.nextID = z.FirstID
+	}
+	if z.InsertBias == 0 {
+		z.InsertBias = 0.5
+	}
+	if z.S == 0 {
+		z.S = 1.6
+	}
+	if z.Homes >= 2 {
+		z.cdf = make([]float64, z.Homes)
+		total := 0.0
+		for h := 0; h < z.Homes; h++ {
+			total += math.Pow(float64(h+1), -z.S)
+			z.cdf[h] = total
+		}
+		for h := range z.cdf {
+			z.cdf[h] /= total
+		}
+	}
+}
+
+// drawID returns a fresh id; with Homes >= 2 its hash home follows the
+// Zipf law. Ids that hash elsewhere are skipped permanently, which keeps
+// ids unique at an expected cost of Homes candidates per draw.
+func (z *ZipfChurn) drawID() addrspace.ID {
+	if z.cdf == nil {
+		id := z.nextID
+		z.nextID++
+		return id
+	}
+	home := sort.SearchFloat64s(z.cdf, z.rng.Float64())
+	if home >= z.Homes {
+		home = z.Homes - 1
+	}
+	for {
+		id := z.nextID
+		z.nextID++
+		if shardhash.Home(int64(id), z.Homes) == home {
+			return id
+		}
+	}
+}
+
+// Next implements Stream. ZipfChurn never ends; bound it with Drive's n.
+func (z *ZipfChurn) Next() (Op, bool) {
+	z.init()
+	insert := z.vol < z.TargetVolume || len(z.live) == 0 || z.rng.Float64() < z.InsertBias
+	if insert {
+		id := z.drawID()
+		size := z.Sizes.Draw(z.rng)
+		z.live = append(z.live, id)
+		z.sizes[id] = size
+		z.vol += size
+		return Op{Insert: true, ID: id, Size: size}, true
+	}
+	i := z.rng.IntN(len(z.live))
+	id := z.live[i]
+	z.live[i] = z.live[len(z.live)-1]
+	z.live = z.live[:len(z.live)-1]
+	size := z.sizes[id]
+	z.vol -= size
+	delete(z.sizes, id)
+	return Op{ID: id, Size: size}, true
+}
+
+// LiveVolume returns the generator's view of the live volume.
+func (z *ZipfChurn) LiveVolume() int64 { return z.vol }

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/shardhash"
+)
+
+// TestZipfChurnDeterministic: same configuration, same op sequence.
+func TestZipfChurnDeterministic(t *testing.T) {
+	mk := func() *ZipfChurn {
+		return &ZipfChurn{Seed: 7, Sizes: Uniform{Min: 1, Max: 64}, TargetVolume: 5000, Homes: 8}
+	}
+	a := Collect(mk(), 3000)
+	b := Collect(mk(), 3000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestZipfChurnSkew verifies the construction actually skews the live
+// volume: home 0 must carry the plurality of it, strictly more than an
+// even split, and the stream must stay a valid request sequence (no
+// duplicate live ids, deletes only of live ids).
+func TestZipfChurnSkew(t *testing.T) {
+	const homes = 8
+	z := &ZipfChurn{Seed: 3, Sizes: Uniform{Min: 1, Max: 64}, TargetVolume: 20000, Homes: homes, S: 1.8}
+	live := map[addrspace.ID]int64{}
+	for i := 0; i < 30000; i++ {
+		op, ok := z.Next()
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		if op.Insert {
+			if _, dup := live[op.ID]; dup {
+				t.Fatalf("op %d re-inserts live id %d", i, op.ID)
+			}
+			live[op.ID] = op.Size
+		} else {
+			if _, ok := live[op.ID]; !ok {
+				t.Fatalf("op %d deletes dead id %d", i, op.ID)
+			}
+			delete(live, op.ID)
+		}
+	}
+	vols := make([]int64, homes)
+	var total int64
+	for id, sz := range live {
+		vols[shardhash.Home(int64(id), homes)] += sz
+		total += sz
+	}
+	if total != z.LiveVolume() {
+		t.Fatalf("live volume mismatch: replay %d, generator %d", total, z.LiveVolume())
+	}
+	max := vols[0]
+	for h, v := range vols {
+		if v > max {
+			t.Fatalf("home %d (%d) outweighs home 0 (%d): %v", h, v, vols[0], vols)
+		}
+	}
+	// Zipf with s=1.8 over 8 homes puts ~60% of the weight on home 0;
+	// require at least 3x an even split to prove real skew.
+	if float64(max) < 3*float64(total)/float64(homes) {
+		t.Fatalf("home 0 volume %d is not skewed (total %d): %v", max, total, vols)
+	}
+}
+
+// TestZipfChurnUniformFallback: Homes < 2 degenerates to plain churn.
+func TestZipfChurnUniformFallback(t *testing.T) {
+	z := &ZipfChurn{Seed: 5, Sizes: Uniform{Min: 1, Max: 8}, TargetVolume: 500, Homes: 1}
+	ops := Collect(z, 400)
+	if len(ops) != 400 {
+		t.Fatalf("collected %d ops", len(ops))
+	}
+	next := addrspace.ID(1)
+	for _, op := range ops {
+		if op.Insert {
+			if op.ID != next {
+				t.Fatalf("uniform fallback skipped ids: got %d want %d", op.ID, next)
+			}
+			next++
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package realloc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"realloc"
+)
+
+// TestEpsilonValidation: both constructors reject ε outside (0, 1] with
+// the same clear message, and accept the boundary value 1.
+func TestEpsilonValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 1.5, math.NaN()} {
+		_, err := realloc.New(realloc.WithEpsilon(eps))
+		if err == nil || !strings.Contains(err.Error(), "epsilon must be in (0, 1]") {
+			t.Errorf("New(eps=%v) error = %v, want epsilon range message", eps, err)
+		}
+		_, err = realloc.NewSharded(realloc.WithShards(2), realloc.WithEpsilon(eps))
+		if err == nil || !strings.Contains(err.Error(), "epsilon must be in (0, 1]") {
+			t.Errorf("NewSharded(eps=%v) error = %v, want epsilon range message", eps, err)
+		}
+	}
+	if _, err := realloc.New(realloc.WithEpsilon(1)); err != nil {
+		t.Errorf("New(eps=1) rejected: %v", err)
+	}
+	if _, err := realloc.NewSharded(realloc.WithShards(2), realloc.WithEpsilon(1)); err != nil {
+		t.Errorf("NewSharded(eps=1) rejected: %v", err)
+	}
+}
+
+// TestShardCountValidation: NewSharded names the offending count.
+func TestShardCountValidation(t *testing.T) {
+	for _, n := range []int{0, -1, -8} {
+		_, err := realloc.NewSharded(realloc.WithShards(n))
+		if err == nil || !strings.Contains(err.Error(), "shard count must be >= 1") {
+			t.Errorf("NewSharded(shards=%d) error = %v, want shard count message", n, err)
+		}
+	}
+}
+
+// TestInsertSizeValidation: non-positive sizes are rejected at the public
+// boundary with a clear message, on both facades, before any lock or
+// shard routing is touched.
+func TestInsertSizeValidation(t *testing.T) {
+	r, err := realloc.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := realloc.NewSharded(realloc.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{0, -1, -4096} {
+		if err := r.Insert(1, size); err == nil || !strings.Contains(err.Error(), "size must be >= 1") {
+			t.Errorf("New Insert(size=%d) error = %v, want size message", size, err)
+		}
+		if err := s.Insert(1, size); err == nil || !strings.Contains(err.Error(), "size must be >= 1") {
+			t.Errorf("Sharded Insert(size=%d) error = %v, want size message", size, err)
+		}
+	}
+	if r.Has(1) || s.Has(1) {
+		t.Fatal("rejected insert left a live object")
+	}
+	if err := r.Insert(1, 1); err != nil {
+		t.Errorf("minimal size rejected: %v", err)
+	}
+	if err := s.Insert(1, 1); err != nil {
+		t.Errorf("sharded minimal size rejected: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package realloc
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"realloc/internal/addrspace"
@@ -44,6 +45,16 @@ type config struct {
 	locking   bool
 	shards    int
 	shardsSet bool
+	rebalance *RebalancePolicy
+}
+
+// validateEpsilon enforces the public contract at the constructor
+// boundary; the negated comparison also rejects NaN.
+func validateEpsilon(eps float64) error {
+	if !(eps > 0) || eps > 1 {
+		return fmt.Errorf("realloc: epsilon must be in (0, 1], got %g", eps)
+	}
+	return nil
 }
 
 // WithEpsilon sets the footprint slack target ε in (0, 1]: the footprint
@@ -78,6 +89,16 @@ func WithLocking() Option { return func(c *config) { c.locking = true } }
 // NewSharded; passing it to New is an error. Default: runtime.GOMAXPROCS.
 func WithShards(n int) Option {
 	return func(c *config) { c.shards, c.shardsSet = n, true }
+}
+
+// WithRebalance arms dynamic cross-shard rebalancing on a sharded
+// reallocator: per-shard live volume is watched, and once the imbalance
+// ratio max/mean exceeds the policy threshold, bounded batches of objects
+// are migrated from overloaded to underloaded shards (rerouting their
+// ids) until the volumes level. It only applies to NewSharded; passing it
+// to New is an error. See RebalancePolicy for the two trigger modes.
+func WithRebalance(p RebalancePolicy) Option {
+	return func(c *config) { c.rebalance = &p }
 }
 
 // Reallocator is the public handle for the cost-oblivious storage
@@ -129,6 +150,12 @@ func New(opts ...Option) (*Reallocator, error) {
 	if cfg.shardsSet {
 		return nil, errors.New("realloc: WithShards requires NewSharded")
 	}
+	if cfg.rebalance != nil {
+		return nil, errors.New("realloc: WithRebalance requires NewSharded")
+	}
+	if err := validateEpsilon(cfg.epsilon); err != nil {
+		return nil, err
+	}
 	rec, m := newRecorder(&cfg, 0)
 	inner, err := core.New(core.Config{
 		Epsilon:  cfg.epsilon,
@@ -150,6 +177,9 @@ func New(opts ...Option) (*Reallocator, error) {
 // Insert services 〈InsertObject, id, size〉: it allocates a size-cell
 // object under the caller's non-zero id.
 func (r *Reallocator) Insert(id int64, size int64) error {
+	if size < 1 {
+		return fmt.Errorf("realloc: object size must be >= 1, got %d", size)
+	}
 	defer r.lock()()
 	return r.inner.Insert(addrspace.ID(id), size)
 }

@@ -1,19 +1,21 @@
 package realloc
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"realloc/internal/addrspace"
 	"realloc/internal/core"
+	"realloc/internal/rebalance"
+	"realloc/internal/shardhash"
 	"realloc/internal/trace"
 )
 
 // ShardedReallocator scales the cost-oblivious reallocator across
-// goroutines by hash-partitioning object ids over n independent cores,
-// each guarded by its own mutex and owning a private address space.
+// goroutines by partitioning object ids over n independent cores, each
+// guarded by its own mutex and owning a private address space.
 //
 // The paper's guarantees are per-allocator, so they survive partitioning
 // shard by shard: shard i keeps its footprint within (1+ε)·V_i of its own
@@ -28,42 +30,141 @@ import (
 // key by (shard, address) — every observer Event carries its Shard index
 // for exactly this purpose.
 //
+// Ids are routed through a stable id→shard table: an id's default home is
+// a hash of the id, and the rebalancer (see WithRebalance) may reassign
+// individual ids to level live volume across shards. The route only
+// changes under both affected shard locks, so every operation still sees
+// exactly one owner per id.
+//
 // Operations on a single object (Insert, Delete, Extent, Has) take only
 // that object's shard lock and run in parallel across shards. Aggregate
 // reads (Len, Volume, Footprint, ...) visit the shards one lock at a
-// time; under concurrent mutation they return a consistent per-shard but
-// not globally-atomic snapshot.
+// time: each per-shard term is read under that shard's lock, but shards
+// already visited may mutate before the loop finishes, so under
+// concurrent mutation the result is a per-shard-consistent, not
+// globally-atomic, snapshot. Use Snapshot to get the per-shard terms and
+// their exact sums in one call.
 type ShardedReallocator struct {
 	shards  []*shard
 	epsilon float64
+	router  *router
+	// observer is the user callback events are delivered to; migration
+	// events are emitted here directly (per-shard events go through each
+	// shard's recorder chain).
+	observer func(Event)
+
+	// Rebalancing state; pol is always valid (defaults), auto/inline say
+	// whether a trigger is armed.
+	pol     rebalance.Policy
+	auto    bool
+	inline  bool
+	opCount atomic.Int64
+
+	migrations     atomic.Int64
+	migratedVolume atomic.Int64
+
+	// rebalanceMu serializes sweeps; errMu guards the sticky background
+	// error returned by Close.
+	rebalanceMu sync.Mutex
+	errMu       sync.Mutex
+	rebalErr    error
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
-// shard pairs one sequential core with its own lock and recorders.
+// shard pairs one sequential core with its own lock and recorders. vol
+// caches the shard's live volume (maintained under mu, read lock-free)
+// so skew checks on the hot path never take locks.
 type shard struct {
 	mu      sync.Mutex
 	inner   *core.Reallocator
 	metrics *trace.Metrics
+	vol     atomic.Int64
+}
+
+// router is the id→shard table: the default route is the stable hash
+// home, overridden per id once the rebalancer migrates it. Overrides are
+// only written while both affected shard locks are held, and dropped when
+// the object is deleted or migrated back home, so the table stays
+// proportional to the number of displaced live objects.
+type router struct {
+	mu        sync.RWMutex
+	n         int
+	overrides map[int64]int
+}
+
+func newRouter(n int) *router {
+	return &router{n: n, overrides: make(map[int64]int)}
+}
+
+func (rt *router) route(id int64) int {
+	rt.mu.RLock()
+	s, ok := rt.overrides[id]
+	rt.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return shardhash.Home(id, rt.n)
+}
+
+// set records that id now lives on shard; routing an id back to its hash
+// home removes the override instead of storing a redundant entry.
+func (rt *router) set(id int64, shard int) {
+	rt.mu.Lock()
+	if shardhash.Home(id, rt.n) == shard {
+		delete(rt.overrides, id)
+	} else {
+		rt.overrides[id] = shard
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *router) clear(id int64) {
+	rt.mu.Lock()
+	delete(rt.overrides, id)
+	rt.mu.Unlock()
+}
+
+func (rt *router) overrideCount() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.overrides)
 }
 
 // NewSharded creates a ShardedReallocator. It accepts the same options as
 // New — WithShards picks the shard count (default runtime.GOMAXPROCS),
-// WithLocking is implied, and a WithObserver callback must be safe for
-// concurrent use because shards emit events in parallel. The callback
-// runs while the emitting shard's lock is held: it must not call back
-// into the reallocator, or it will deadlock.
+// WithRebalance arms dynamic cross-shard rebalancing, WithLocking is
+// implied, and a WithObserver callback must be safe for concurrent use
+// because shards emit events in parallel. The callback runs while the
+// emitting shard's lock is held (both shard locks, for migration events):
+// it must not call back into the reallocator, or it will deadlock.
+//
+// Call Close when done if the reallocator was built with a background
+// rebalancing policy; it is a no-op otherwise.
 func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 	cfg := config{epsilon: 0.25}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := validateEpsilon(cfg.epsilon); err != nil {
+		return nil, err
 	}
 	n := cfg.shards
 	if !cfg.shardsSet {
 		n = runtime.GOMAXPROCS(0)
 	}
 	if n < 1 {
-		return nil, errors.New("realloc: shard count must be >= 1")
+		return nil, fmt.Errorf("realloc: shard count must be >= 1, got %d", n)
 	}
-	s := &ShardedReallocator{shards: make([]*shard, n), epsilon: cfg.epsilon}
+	s := &ShardedReallocator{
+		shards:   make([]*shard, n),
+		epsilon:  cfg.epsilon,
+		router:   newRouter(n),
+		observer: cfg.observer,
+		pol:      rebalance.Policy{}.WithDefaults(),
+	}
 	for i := range s.shards {
 		rec, m := newRecorder(&cfg, i)
 		inner, err := core.New(core.Config{
@@ -78,55 +179,86 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 		}
 		s.shards[i] = &shard{inner: inner, metrics: m}
 	}
+	if cfg.rebalance != nil {
+		pol := toInternalPolicy(*cfg.rebalance).WithDefaults()
+		if err := pol.Validate(); err != nil {
+			return nil, fmt.Errorf("realloc: %w", err)
+		}
+		s.pol = pol
+		s.auto = true
+		s.inline = pol.Mode == rebalance.Inline
+		if pol.Mode == rebalance.Background {
+			s.stop = make(chan struct{})
+			s.done = make(chan struct{})
+			go s.backgroundLoop()
+		}
+	}
 	return s, nil
 }
 
-// mix64 is the SplitMix64 finalizer: a cheap bijective scrambler that
-// spreads sequential ids evenly across shards.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
-// ShardOf returns the index of the shard that owns id. The mapping is
-// stable for the lifetime of the reallocator.
+// ShardOf returns the index of the shard that currently owns id: the
+// stable hash home, unless the rebalancer has reassigned the id. Without
+// WithRebalance the mapping never changes.
 func (s *ShardedReallocator) ShardOf(id int64) int {
-	return int(mix64(uint64(id)) % uint64(len(s.shards)))
-}
-
-func (s *ShardedReallocator) shardFor(id int64) *shard {
-	return s.shards[s.ShardOf(id)]
+	return s.router.route(id)
 }
 
 // Shards returns the shard count.
 func (s *ShardedReallocator) Shards() int { return len(s.shards) }
 
+// acquire locks and returns the shard that owns id. Because a concurrent
+// migration may reroute the id between the route lookup and the lock
+// acquisition, the route is re-checked under the lock and the acquisition
+// retried on a change (migrations hold both shard locks while they update
+// the route, so the second check is authoritative).
+func (s *ShardedReallocator) acquire(id int64) (*shard, int) {
+	for {
+		i := s.router.route(id)
+		sh := s.shards[i]
+		sh.mu.Lock()
+		if s.router.route(id) == i {
+			return sh, i
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Insert services 〈InsertObject, id, size〉 on the owning shard.
 func (s *ShardedReallocator) Insert(id int64, size int64) error {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.inner.Insert(addrspace.ID(id), size)
+	if size < 1 {
+		return fmt.Errorf("realloc: object size must be >= 1, got %d", size)
+	}
+	sh, _ := s.acquire(id)
+	err := sh.inner.Insert(addrspace.ID(id), size)
+	sh.vol.Store(sh.inner.Volume())
+	sh.mu.Unlock()
+	if err == nil && s.inline {
+		s.maybeStealRebalance()
+	}
+	return err
 }
 
 // Delete services 〈DeleteObject, id〉 on the owning shard.
 func (s *ShardedReallocator) Delete(id int64) error {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.inner.Delete(addrspace.ID(id))
+	sh, _ := s.acquire(id)
+	err := sh.inner.Delete(addrspace.ID(id))
+	sh.vol.Store(sh.inner.Volume())
+	if err == nil {
+		// The id is gone; future inserts of the same id hash fresh.
+		s.router.clear(id)
+	}
+	sh.mu.Unlock()
+	if err == nil && s.inline {
+		s.maybeStealRebalance()
+	}
+	return err
 }
 
 // Extent returns the object's current placement within its shard's
 // private address space; combine with ShardOf(id) for a globally unique
 // physical location.
 func (s *ShardedReallocator) Extent(id int64) (Extent, bool) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
+	sh, _ := s.acquire(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.inner.Extent(addrspace.ID(id))
 	return Extent{Start: e.Start, Size: e.Size}, ok
@@ -134,8 +266,7 @@ func (s *ShardedReallocator) Extent(id int64) (Extent, bool) {
 
 // Has reports whether the object is live.
 func (s *ShardedReallocator) Has(id int64) bool {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
+	sh, _ := s.acquire(id)
 	defer sh.mu.Unlock()
 	return sh.inner.Has(addrspace.ID(id))
 }
@@ -191,6 +322,18 @@ func (s *ShardedReallocator) ShardVolume(i int) int64 {
 	return sh.inner.Volume()
 }
 
+// ShardVolumes returns every shard's live volume in one pass, one shard
+// lock at a time — the vector the rebalancer's skew detector runs on.
+func (s *ShardedReallocator) ShardVolumes() []int64 {
+	vols := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		vols[i] = sh.inner.Volume()
+		sh.mu.Unlock()
+	}
+	return vols
+}
+
 // Delta returns the largest object size seen by any shard (the paper's
 // ∆; per-shard additive terms use each shard's own ∆, which is at most
 // this).
@@ -239,6 +382,7 @@ func (s *ShardedReallocator) Drain() error {
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		err := sh.inner.Drain()
+		sh.vol.Store(sh.inner.Volume())
 		sh.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
@@ -249,7 +393,11 @@ func (s *ShardedReallocator) Drain() error {
 
 // ForEach visits live objects shard by shard in shard-index order, in
 // address order within each shard. Each shard's lock is held while its
-// objects are visited: fn must not call back into the reallocator.
+// objects are visited: fn must not call back into the reallocator. Under
+// a concurrently running rebalancer an object migrating between an
+// already-visited and a not-yet-visited shard can be missed or seen
+// twice; quiesce the rebalancer (Close, or no concurrent Rebalance) for
+// an exact iteration.
 func (s *ShardedReallocator) ForEach(fn func(id int64, ext Extent)) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -274,6 +422,46 @@ func (s *ShardedReallocator) CheckInvariants() error {
 	return nil
 }
 
+// ShardSnapshot is one shard's state captured under its lock.
+type ShardSnapshot struct {
+	Len       int
+	Volume    int64
+	Footprint int64
+}
+
+// Snapshot captures every shard's (len, volume, footprint) triple — each
+// internally consistent, read under that shard's lock — plus totals that
+// are exactly the sums of the captured per-shard terms. Under concurrent
+// mutation the totals may not correspond to any single global instant
+// (shards are visited one at a time), but they are always consistent with
+// the per-shard entries returned alongside them; this is the documented
+// snapshot semantics of all aggregate reads.
+type Snapshot struct {
+	Shards    []ShardSnapshot
+	Len       int
+	Volume    int64
+	Footprint int64
+}
+
+// Snapshot implements the aggregate-read contract above.
+func (s *ShardedReallocator) Snapshot() Snapshot {
+	snap := Snapshot{Shards: make([]ShardSnapshot, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		ss := ShardSnapshot{
+			Len:       sh.inner.Len(),
+			Volume:    sh.inner.Volume(),
+			Footprint: sh.inner.Footprint(),
+		}
+		sh.mu.Unlock()
+		snap.Shards[i] = ss
+		snap.Len += ss.Len
+		snap.Volume += ss.Volume
+		snap.Footprint += ss.Footprint
+	}
+	return snap
+}
+
 // ShardStats returns shard i's own accumulated metrics; ok=false unless
 // the reallocator was built WithMetrics.
 func (s *ShardedReallocator) ShardStats(i int) (Stats, bool) {
@@ -289,8 +477,15 @@ func (s *ShardedReallocator) ShardStats(i int) (Stats, bool) {
 // Stats returns metrics aggregated over all shards: counters are summed,
 // MaxFootprintRatio is the worst per-shard ratio (the quantity each
 // shard's (1+ε) bound actually constrains), and each cost ratio is the
-// summed reallocation cost over the summed allocation cost. It returns
-// ok=false unless the reallocator was built WithMetrics.
+// summed reallocation cost over the summed allocation cost. Migration
+// counters and the per-shard volume spread are filled in whether or not a
+// rebalancer is armed. It returns ok=false unless the reallocator was
+// built WithMetrics.
+//
+// A migration is accounted once in Migrations/MigratedVolume; the
+// per-shard metrics it also touches see it as one delete on the source
+// shard and one insert on the target shard, which is what each shard's
+// cost meter honestly paid.
 func (s *ShardedReallocator) Stats() (Stats, bool) {
 	if s.shards[0].metrics == nil {
 		return Stats{}, false
@@ -298,8 +493,10 @@ func (s *ShardedReallocator) Stats() (Stats, bool) {
 	agg := Stats{CostRatios: map[string]float64{}, MaxOpCost: map[string]float64{}}
 	alloc := map[string]float64{}
 	realloc := map[string]float64{}
-	for _, sh := range s.shards {
+	vols := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
 		sh.mu.Lock()
+		vols[i] = sh.inner.Volume()
 		m := sh.metrics
 		agg.Inserts += m.Inserts
 		agg.Deletes += m.Deletes
@@ -332,5 +529,17 @@ func (s *ShardedReallocator) Stats() (Stats, bool) {
 			agg.CostRatios[f] = 0
 		}
 	}
+	agg.Migrations = s.migrations.Load()
+	agg.MigratedVolume = s.migratedVolume.Load()
+	agg.MaxShardVolume, agg.MinShardVolume = vols[0], vols[0]
+	for _, v := range vols[1:] {
+		if v > agg.MaxShardVolume {
+			agg.MaxShardVolume = v
+		}
+		if v < agg.MinShardVolume {
+			agg.MinShardVolume = v
+		}
+	}
+	agg.VolumeSpread = rebalance.Skew(vols)
 	return agg, true
 }
