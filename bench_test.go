@@ -8,6 +8,7 @@ package realloc_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -30,6 +31,7 @@ func benchExperiment(b *testing.B, id string, metricKey, metricName string) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		res, err := e.Run(exp.Config{Seed: 1, Quick: true})
@@ -99,15 +101,25 @@ func BenchmarkE13ShardScaling(b *testing.B) {
 
 // benchChurnTarget measures steady-state request throughput.
 func benchChurnTarget(b *testing.B, t workload.Target) {
+	benchChurnTargetVolume(b, t, 100000)
+}
+
+// benchChurnTargetVolume is benchChurnTarget with an explicit live-volume
+// target: the structure is warmed to steady state at that volume outside
+// the timer, so the timed region measures only steady churn.
+func benchChurnTargetVolume(b *testing.B, t workload.Target, vol int64) {
 	churn := &workload.Churn{
 		Seed:         7,
 		Sizes:        workload.Uniform{Min: 1, Max: 256},
-		TargetVolume: 100000,
+		TargetVolume: vol,
 	}
-	// Warm up to steady state outside the timer.
-	if _, err := workload.Drive(t, churn, 3000); err != nil {
+	// Warm up to steady state outside the timer: reach the target volume
+	// (mean object size is ~128 cells) and then churn past a few flushes.
+	warm := int(vol/128)*2 + 3000
+	if _, err := workload.Drive(t, churn, warm); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op, _ := churn.Next()
@@ -129,6 +141,23 @@ func newVariant(b *testing.B, v core.Variant) *core.Reallocator {
 		b.Fatal(err)
 	}
 	return r
+}
+
+// BenchmarkChurnScaling sweeps steady-state churn across live volumes of
+// 1e4, 1e5, and 1e6 cells for all three variants, making per-op growth
+// visible in one run. Per-op cost should stay near-flat across the sweep
+// (the amortized flush bound is O(1/ε) volume per request); superlinear
+// growth here means the flush path's bookkeeping is outrunning the
+// paper's bound. CI runs this with -benchmem and trips on a 1e5→1e6
+// blowup.
+func BenchmarkChurnScaling(b *testing.B) {
+	for _, v := range []core.Variant{core.Amortized, core.Checkpointed, core.Deamortized} {
+		for _, vol := range []int64{10000, 100000, 1000000} {
+			b.Run(fmt.Sprintf("%s/cells=%d", v, vol), func(b *testing.B) {
+				benchChurnTargetVolume(b, newVariant(b, v), vol)
+			})
+		}
+	}
 }
 
 func BenchmarkChurnAmortized(b *testing.B)    { benchChurnTarget(b, newVariant(b, core.Amortized)) }
@@ -181,6 +210,7 @@ func benchParallelChurn(b *testing.B, t concurrentTarget) {
 		}
 		states[w] = st
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var worker atomic.Int64
 	b.RunParallel(func(pb *testing.PB) {
@@ -277,6 +307,7 @@ func benchShardedSkew(b *testing.B, rebal bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -319,6 +350,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 	if _, err := workload.Drive(publicAdapter{r}, churn, 2000); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op, _ := churn.Next()

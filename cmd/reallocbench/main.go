@@ -4,24 +4,60 @@
 // Usage:
 //
 //	reallocbench [-e E1|E2|...|E14|all] [-seed N] [-ops N] [-quick] [-list]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-json] [-outdir DIR]
+//
+// With -json, each experiment additionally writes a machine-readable
+// BENCH_<id>.json (into -outdir, default ".") carrying its findings map,
+// wall-clock duration, and run configuration, so successive runs
+// accumulate a perf trajectory that tooling can diff.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"realloc/internal/exp"
 )
 
+// benchRecord is the schema of a BENCH_<id>.json file.
+type benchRecord struct {
+	ID        string             `json:"id"`
+	Title     string             `json:"title"`
+	Claim     string             `json:"claim"`
+	Seed      uint64             `json:"seed"`
+	Ops       int                `json:"ops,omitempty"`
+	Quick     bool               `json:"quick"`
+	Timestamp time.Time          `json:"timestamp"`
+	GoVersion string             `json:"go_version"`
+	Seconds   float64            `json:"seconds"`
+	Findings  map[string]float64 `json:"findings"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run owns the profiling lifecycle so every exit path flushes profiles:
+// os.Exit in main would skip the deferred StopCPUProfile/heap write and
+// corrupt the very artifacts a profiled run exists to produce.
+func run() int {
 	var (
-		which = flag.String("e", "all", "experiment to run (E1..E14 or 'all')")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		ops   = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
-		quick = flag.Bool("quick", false, "reduced scale for a fast pass")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		which      = flag.String("e", "all", "experiment to run (E1..E14 or 'all')")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		ops        = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
+		quick      = flag.Bool("quick", false, "reduced scale for a fast pass")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to `file`")
+		jsonOut    = flag.Bool("json", false, "write a BENCH_<id>.json per experiment run")
+		outdir     = flag.String("outdir", ".", "directory for -json output files")
 	)
 	flag.Parse()
 
@@ -29,26 +65,79 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
 	}
 
-	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick}
-	if strings.EqualFold(*which, "all") {
-		if err := exp.RunAll(cfg, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "reallocbench:", err)
-			os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	e, ok := exp.ByID(*which)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "reallocbench: unknown experiment %q (try -list)\n", *which)
-		os.Exit(2)
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+	}()
+
+	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick}
+	var targets []exp.Experiment
+	if strings.EqualFold(*which, "all") {
+		targets = exp.All()
+	} else {
+		e, ok := exp.ByID(*which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "reallocbench: unknown experiment %q (try -list)\n", *which)
+			return 2
+		}
+		targets = []exp.Experiment{e}
 	}
-	res, err := e.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reallocbench:", err)
-		os.Exit(1)
+	for _, e := range targets {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("== %s: %s ==\nClaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Text)
+		if !*jsonOut {
+			continue
+		}
+		rec := benchRecord{
+			ID: e.ID, Title: e.Title, Claim: e.Claim,
+			Seed: *seed, Ops: *ops, Quick: *quick,
+			Timestamp: start.UTC(), GoVersion: runtime.Version(),
+			Seconds:  time.Since(start).Seconds(),
+			Findings: res.Findings,
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		path := filepath.Join(*outdir, "BENCH_"+e.ID+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "reallocbench: wrote %s\n", path)
 	}
-	fmt.Printf("== %s: %s ==\nClaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Text)
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "reallocbench:", err)
+	return 1
 }

@@ -86,6 +86,33 @@
 // EventInsert on the target, then an EventMigrate carrying both shard
 // indices.
 //
+// # Performance
+//
+// Flushes — the hot path that relocates nearly every object of a suffix
+// of the structure — execute as one batched move plan: the schedule is
+// validated once, applied through dense per-object scratch, and the
+// address-ordered index (a two-level blocked structure) rebuilds only its
+// touched suffix in a single merge pass, O(n + m log m) bookkeeping for a
+// flush of m objects instead of the O(m·n) a per-move sorted-index update
+// pays. Steady-state requests and flushes are allocation-free: object
+// records, regions, move plans, and executor scratch are pooled.
+//
+// Per-operation cost for n live objects and a flush suffix of m objects
+// (B is the constant index block size): a buffered insert or delete is
+// O(log n + B); a flush is O(n + m log m) bookkeeping amortized over the
+// Θ(ε·V) volume of requests that filled the buffers; a deamortized
+// request advances an active flush by a volume-bounded chunk at
+// O(log n + B) per move. On one core at 10^6 live cells the batched
+// executor serves steady churn 3–5x faster than the per-move path for the
+// atomic variants (see BenchmarkChurnScaling and the README table), with
+// 0 allocs/op across the sweep.
+//
+// Observable behavior is unchanged: observers receive the identical
+// per-move event sequence — footprints, checkpoints, counters — that
+// per-move execution produces. WithSerialFlush forces that reference
+// path, and differential tests drive both and assert equality of event
+// streams, layouts, footprint series, and stats.
+//
 // The package also exposes the paper's corollaries: a crash-consistent
 // database block store built on a translation layer (BlockStore), a
 // defragmenter that sorts objects in (1+ε)V+∆ space (SortVolume), and a

@@ -23,7 +23,6 @@ package addrspace
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // ID identifies an object. IDs are assigned by the caller and must be
@@ -92,11 +91,13 @@ type Space struct {
 	opts Options
 
 	objects map[ID]Extent
-	byStart []placement // sorted by ext.Start; extents pairwise disjoint
+	byStart pindex // sorted by ext.Start; extents pairwise disjoint
 
 	freed intervalSet // space freed since last checkpoint (CheckpointRule)
 
 	cells []ID // cell-level data residue, if TrackCells
+
+	batch *batchState // reusable ApplyMoves scratch, allocated on first use
 
 	volume        int64 // total live volume
 	checkpoints   int64 // checkpoints taken
@@ -123,10 +124,10 @@ func (s *Space) Volume() int64 { return s.volume }
 // object occupies any cell at or beyond it. (Disjointness makes the
 // placement with the largest start also the one with the largest end.)
 func (s *Space) MaxEnd() int64 {
-	if len(s.byStart) == 0 {
+	if s.byStart.len() == 0 {
 		return 0
 	}
-	return s.byStart[len(s.byStart)-1].ext.End()
+	return s.byStart.last().ext.End()
 }
 
 // Checkpoints returns how many checkpoints have been taken.
@@ -150,27 +151,26 @@ func (s *Space) Extent(id ID) (Extent, bool) {
 
 // ForEach calls fn for every live object in address order.
 func (s *Space) ForEach(fn func(id ID, ext Extent)) {
-	for _, p := range s.byStart {
-		fn(p.id, p.ext)
-	}
+	s.byStart.forEach(fn)
 }
 
-// searchStart returns the index of the first placement with Start >= x.
-func (s *Space) searchStart(x int64) int {
-	return sort.Search(len(s.byStart), func(i int) bool { return s.byStart[i].ext.Start >= x })
+// ForEachFrom calls fn for every live object whose start is >= start, in
+// address order. Flush planning uses it to walk only the flushed suffix.
+func (s *Space) ForEachFrom(start int64, fn func(id ID, ext Extent)) {
+	s.byStart.forEachFrom(s.byStart.lowerBound(start), fn)
 }
 
 // overlapAny reports whether ext overlaps any live object other than skip
 // (skip == 0 means none).
 func (s *Space) overlapAny(ext Extent, skip ID) (ID, bool) {
-	i := s.searchStart(ext.End())
 	// Any overlapping placement must start before ext.End(); because
-	// placements are disjoint, only the one immediately before index i can
-	// extend into ext... except for skip, whose exclusion can expose at
-	// most one more predecessor. Scan left while candidates can still reach
-	// into ext.
-	for j := i - 1; j >= 0; j-- {
-		p := s.byStart[j]
+	// placements are disjoint, only the one immediately before the lower
+	// bound can extend into ext... except for skip, whose exclusion can
+	// expose at most one more predecessor. Scan left while candidates can
+	// still reach into ext.
+	at, ok := s.byStart.prev(s.byStart.lowerBound(ext.End()))
+	for ; ok; at, ok = s.byStart.prev(at) {
+		p := s.byStart.at(at)
 		if p.ext.End() <= ext.Start && p.id != skip {
 			// Disjoint placements to the left of this one end even
 			// earlier, except skip itself which we may still need to step
@@ -213,51 +213,23 @@ func (s *Space) checkTarget(ext Extent, id ID, moving bool, selfExt Extent) erro
 	return nil
 }
 
-// insertPlacement adds (id, ext) into the sorted slice.
+// insertPlacement adds (id, ext) into the sorted index.
 func (s *Space) insertPlacement(id ID, ext Extent) {
-	i := s.searchStart(ext.Start)
-	s.byStart = append(s.byStart, placement{})
-	copy(s.byStart[i+1:], s.byStart[i:])
-	s.byStart[i] = placement{id: id, ext: ext}
+	s.byStart.insert(placement{id: id, ext: ext})
 }
 
-// removePlacement deletes the placement for id at extent ext.
+// removePlacement deletes the placement for id at extent ext. The exact
+// lookup panics on index/map desync (see pindex.find).
 func (s *Space) removePlacement(id ID, ext Extent) {
-	i := s.searchStart(ext.Start)
-	for i < len(s.byStart) && s.byStart[i].id != id {
-		i++ // tolerate equal starts transiently (cannot happen, but be safe)
-	}
-	if i < len(s.byStart) {
-		copy(s.byStart[i:], s.byStart[i+1:])
-		s.byStart = s.byStart[:len(s.byStart)-1]
-	}
+	s.byStart.removeAt(s.byStart.find(id, ext))
 }
 
-// relocatePlacement moves id from extent old to extent ext by rotating the
-// slice range between the two index positions — one copy of |i-j| entries
-// instead of remove+insert's two copies of everything to their right.
-// Moves dominate the flush hot path, so this matters.
+// relocatePlacement moves id from extent old to extent ext. Single moves
+// outside flush plans (log drains, defragmentation) take this path;
+// flushes go through ApplyMoves.
 func (s *Space) relocatePlacement(id ID, old, ext Extent) {
-	i := s.searchStart(old.Start)
-	for i < len(s.byStart) && s.byStart[i].id != id {
-		i++
-	}
-	if i >= len(s.byStart) {
-		return // cannot happen for a verified object; be safe
-	}
-	if ext.Start > old.Start {
-		// Entries in (i, j) start before ext.Start; shift them one slot
-		// left and drop the moved entry at j-1. Distinct live objects
-		// never share a start, so the search is unambiguous.
-		j := s.searchStart(ext.Start)
-		copy(s.byStart[i:j-1], s.byStart[i+1:j])
-		s.byStart[j-1] = placement{id: id, ext: ext}
-		return
-	}
-	// Moving left: shift the entries in [j, i) one slot right.
-	j := s.searchStart(ext.Start)
-	copy(s.byStart[j+1:i+1], s.byStart[j:i])
-	s.byStart[j] = placement{id: id, ext: ext}
+	s.byStart.removeAt(s.byStart.find(id, old))
+	s.byStart.insert(placement{id: id, ext: ext})
 }
 
 // stampCells writes id into every cell of ext (cell-tracking mode).
@@ -317,7 +289,8 @@ func (s *Space) Move(id ID, newStart int64) error {
 		// The part of the old extent not covered by the new one is freed.
 		// With strict nonoverlap that is all of it; with memmove semantics
 		// only the uncovered remainder is.
-		for _, piece := range subtract(old, ext) {
+		var pieces [2]Extent
+		for _, piece := range pieces[:subtract(old, ext, &pieces)] {
 			s.freed.add(piece)
 		}
 	}
@@ -384,52 +357,68 @@ func (s *Space) HoldsData(id ID, ext Extent) bool {
 }
 
 // Verify exhaustively re-checks structural invariants: sortedness,
-// pairwise disjointness, map/slice agreement, and volume accounting. Tests
-// call it after mutating sequences.
+// pairwise disjointness, map/index agreement, and volume accounting.
+// Tests call it after mutating sequences.
 func (s *Space) Verify() error {
-	if len(s.byStart) != len(s.objects) {
-		return fmt.Errorf("addrspace: index has %d entries, map has %d", len(s.byStart), len(s.objects))
+	if s.byStart.len() != len(s.objects) {
+		return fmt.Errorf("addrspace: index has %d entries, map has %d", s.byStart.len(), len(s.objects))
+	}
+	if err := s.byStart.verify(); err != nil {
+		return err
 	}
 	var vol int64
-	for i, p := range s.byStart {
+	var verr error
+	var prev placement
+	havePrev := false
+	s.byStart.forEach(func(id ID, ext Extent) {
+		p := placement{id: id, ext: ext}
+		if verr != nil {
+			return
+		}
 		if p.ext.Size < 1 || p.ext.Start < 0 {
-			return fmt.Errorf("addrspace: object %d has bad extent %v", p.id, p.ext)
+			verr = fmt.Errorf("addrspace: object %d has bad extent %v", p.id, p.ext)
+			return
 		}
 		if got := s.objects[p.id]; got != p.ext {
-			return fmt.Errorf("addrspace: object %d extent mismatch: map %v index %v", p.id, got, p.ext)
+			verr = fmt.Errorf("addrspace: object %d extent mismatch: map %v index %v", p.id, got, p.ext)
+			return
 		}
-		if i > 0 {
-			prev := s.byStart[i-1]
-			if prev.ext.End() > p.ext.Start {
-				return fmt.Errorf("addrspace: objects %d %v and %d %v overlap", prev.id, prev.ext, p.id, p.ext)
-			}
+		if havePrev && prev.ext.End() > p.ext.Start {
+			verr = fmt.Errorf("addrspace: objects %d %v and %d %v overlap", prev.id, prev.ext, p.id, p.ext)
+			return
 		}
+		if s.opts.TrackCells && !s.HoldsData(p.id, p.ext) {
+			verr = fmt.Errorf("addrspace: object %d data missing at %v", p.id, p.ext)
+			return
+		}
+		prev, havePrev = p, true
 		vol += p.ext.Size
+	})
+	if verr != nil {
+		return verr
 	}
 	if vol != s.volume {
 		return fmt.Errorf("addrspace: volume accounting: tracked %d, actual %d", s.volume, vol)
 	}
-	if s.opts.TrackCells {
-		for _, p := range s.byStart {
-			if !s.HoldsData(p.id, p.ext) {
-				return fmt.Errorf("addrspace: object %d data missing at %v", p.id, p.ext)
-			}
-		}
-	}
 	return s.freed.verify()
 }
 
-// subtract returns the parts of a not covered by b (0, 1, or 2 pieces).
-func subtract(a, b Extent) []Extent {
+// subtract computes the parts of a not covered by b, writing them into out
+// (sized for the worst case) and returning how many pieces there are. The
+// out parameter keeps the move hot path allocation-free.
+func subtract(a, b Extent, out *[2]Extent) int {
 	if !a.Overlaps(b) {
-		return []Extent{a}
+		out[0] = a
+		return 1
 	}
-	var out []Extent
+	n := 0
 	if a.Start < b.Start {
-		out = append(out, Extent{Start: a.Start, Size: b.Start - a.Start})
+		out[n] = Extent{Start: a.Start, Size: b.Start - a.Start}
+		n++
 	}
 	if a.End() > b.End() {
-		out = append(out, Extent{Start: b.End(), Size: a.End() - b.End()})
+		out[n] = Extent{Start: b.End(), Size: a.End() - b.End()}
+		n++
 	}
-	return out
+	return n
 }

@@ -222,6 +222,39 @@ func TestForEachOrder(t *testing.T) {
 	}
 }
 
+// TestIndexDesyncPanics asserts the placement lookup refuses to walk past
+// a corrupted index: with unique live starts the exact binary search must
+// land on the object, so a mismatch is a structural desync that panics
+// instead of being silently tolerated.
+func TestIndexDesyncPanics(t *testing.T) {
+	mustPanic := func(name string, corrupt func(*Space), op func(*Space) error) {
+		t.Helper()
+		s := New(RAM())
+		for i, ext := range []Extent{{0, 4}, {10, 4}, {20, 4}} {
+			if err := s.Place(ID(i+1), ext); err != nil {
+				t.Fatal(err)
+			}
+		}
+		corrupt(s)
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: corrupted index did not panic", name)
+			}
+		}()
+		_ = op(s)
+	}
+	// Shift an index entry so the map and the index disagree.
+	shift := func(s *Space) { s.byStart.blocks[0][1].ext.Start += 2 }
+	mustPanic("remove", shift, func(s *Space) error { return s.Remove(2) })
+	mustPanic("relocate", shift, func(s *Space) error { return s.Move(2, 50) })
+	// Swap two entries' identities: search lands on the wrong object.
+	swap := func(s *Space) {
+		blk := s.byStart.blocks[0]
+		blk[0].id, blk[1].id = blk[1].id, blk[0].id
+	}
+	mustPanic("wrong id", swap, func(s *Space) error { return s.Remove(1) })
+}
+
 func TestSubtract(t *testing.T) {
 	cases := []struct {
 		a, b Extent
@@ -234,7 +267,8 @@ func TestSubtract(t *testing.T) {
 		{Extent{0, 10}, Extent{3, 4}, []Extent{{0, 3}, {7, 3}}}, // middle covered
 	}
 	for _, c := range cases {
-		got := subtract(c.a, c.b)
+		var pieces [2]Extent
+		got := pieces[:subtract(c.a, c.b, &pieces)]
 		if len(got) != len(c.want) {
 			t.Errorf("subtract(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
 			continue
@@ -401,7 +435,7 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	_ = s.Place(1, Extent{0, 5})
 	_ = s.Place(2, Extent{10, 5})
 	// Corrupt internals deliberately.
-	s.byStart[0].ext.Size = 100
+	s.byStart.blocks[0][0].ext.Size = 100
 	if err := s.Verify(); err == nil {
 		t.Fatal("Verify missed an index/map mismatch")
 	}

@@ -1,0 +1,486 @@
+package addrspace
+
+import (
+	"fmt"
+	"slices"
+)
+
+// This file implements batched move-plan execution: the flush hot path.
+//
+// A buffer flush relocates nearly every object of the flushed suffix, and
+// executing it through Move would pay a sorted-slice rotation per object —
+// O(m·n) bookkeeping for an O(m)-volume flush. ApplyMoves instead validates
+// the whole plan once, tracks the footprint trajectory with lazy max-heaps,
+// and rebuilds the touched slice of the byStart index in a single merge
+// pass: O(n + m log m) total, while producing byte-for-byte the same
+// observable sequence (per-move footprints, checkpoints, blocked-write and
+// move counters, cell stamps) as the per-move path. The per-move path
+// remains the reference semantics; the differential tests in core and the
+// cross-check tests here drive both and assert equality.
+//
+// All per-object working state is held in dense slices indexed by the
+// caller-assigned Relocation.Ref — flush schedules know every object's
+// position in their payload/buffered lists, so the executor runs without
+// hashing, and its scratch is reused across calls: steady-state flushes
+// allocate nothing.
+
+// Relocation is one step of a move plan: relocate ID so that it starts at
+// To. A plan may relocate the same object several times (flush schedules
+// park objects in the overflow segment before placing them); every step of
+// the same object must carry the same Ref, a caller-assigned dense handle
+// in [0, maxRef) unique to that object within the plan.
+type Relocation struct {
+	ID  ID
+	To  int64
+	Ref int32
+}
+
+// MoveResult describes one applied relocation, in plan order. Footprint is
+// MaxEnd after the relocation and PreFootprint before it; Checkpointed
+// reports that the relocation blocked on freed-since-checkpoint space and
+// a checkpoint was taken (and counted) immediately before it.
+type MoveResult struct {
+	ID           ID
+	Size         int64
+	From, To     int64
+	Footprint    int64
+	PreFootprint int64
+	Checkpointed bool
+}
+
+// batchState holds the dense scratch ApplyMoves reuses across calls.
+// Slices indexed by Ref are cleared lazily via the touched list.
+type batchState struct {
+	ids       []ID // 0 = ref unbound
+	initStart []int64
+	curStart  []int64
+	size      []int64
+	seen      []bool
+	everMoved []bool
+	touched   []int32
+	oldSteps  []int64 // pre-step start per consumed plan entry
+	finals    []placement
+	oldStarts []int64     // pre-batch starts of net-moved objects, sorted
+	newEnds   []endEntry  // max-heap: current ends of moved objects (lazy)
+	goneTops  []int64     // max-heap: pre-batch starts of moved objects
+	suffix    []placement // flattened index suffix from the cut point
+	merged    []placement
+}
+
+// endEntry is one newEnds element: a (possibly stale) object end.
+type endEntry struct {
+	ref int32
+	end int64
+}
+
+func (s *Space) batchState(maxRef int) *batchState {
+	if s.batch == nil {
+		s.batch = &batchState{}
+	}
+	b := s.batch
+	for _, ref := range b.touched {
+		b.ids[ref] = 0
+		b.seen[ref] = false
+		b.everMoved[ref] = false
+	}
+	b.touched = b.touched[:0]
+	if len(b.ids) < maxRef {
+		b.ids = slices.Grow(b.ids[:0], maxRef)[:maxRef]
+		b.initStart = slices.Grow(b.initStart[:0], maxRef)[:maxRef]
+		b.curStart = slices.Grow(b.curStart[:0], maxRef)[:maxRef]
+		b.size = slices.Grow(b.size[:0], maxRef)[:maxRef]
+		b.seen = slices.Grow(b.seen[:0], maxRef)[:maxRef]
+		b.everMoved = slices.Grow(b.everMoved[:0], maxRef)[:maxRef]
+	}
+	b.oldSteps = b.oldSteps[:0]
+	b.finals = b.finals[:0]
+	b.oldStarts = b.oldStarts[:0]
+	b.newEnds = b.newEnds[:0]
+	b.goneTops = b.goneTops[:0]
+	return b
+}
+
+// ApplyMoves executes plan in order, stopping early once the applied
+// (non-no-op) volume reaches budget: entries keep being consumed while the
+// volume applied so far is below budget, exactly mirroring a quota-driven
+// loop over Move. maxRef bounds the plan's Ref handles. It returns how
+// many plan entries were consumed and the volume they moved.
+//
+// finalOrder, if non-nil, lists refs in ascending order of their final
+// position, letting the index rebuild skip its sort; refs that never
+// appear in the consumed prefix are ignored, so a plan resumed mid-way can
+// keep passing the full plan's ordering as long as it runs to the end.
+// Pass nil when a budget may cut the plan short of its final layout.
+//
+// The whole consumed prefix is validated before anything mutates: unknown
+// objects, ref misuse, bad targets, strict-rule self-overlaps, and any
+// overlap in the resulting layout (moved targets against each other and
+// against unmoved objects) fail the call with the Space untouched.
+// Intermediate layouts are the caller's responsibility — flush schedules
+// guarantee them by construction, and WithInvariantChecks cross-checks
+// every batch against a full substrate Verify.
+//
+// Under the checkpoint rule, a relocation whose target intersects space
+// freed since the last checkpoint counts a blocked write, takes (and
+// counts) a checkpoint, and proceeds — the same transparent blocking the
+// per-move path implements by retrying Move.
+//
+// emit, if non-nil, observes every applied relocation in order with exact
+// per-move footprints. Object positions (Extent) are visible to it exactly
+// as the per-move path would show them — in particular the checkpoint
+// hooks of a block translation layer snapshot correct addresses — but
+// index-derived queries (MaxEnd, ForEach, further mutations) are off
+// limits inside the callback: the index is rebuilt after the walk.
+func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, budget int64, emit func(MoveResult)) (consumed int, volume int64, err error) {
+	if len(plan) == 0 || budget <= 0 {
+		return 0, 0, nil
+	}
+	b := s.batchState(maxRef)
+
+	// Pass 1: simulate and validate the consumed prefix.
+	var vol int64
+	for _, mv := range plan {
+		if vol >= budget {
+			break
+		}
+		if mv.Ref < 0 || int(mv.Ref) >= maxRef {
+			return 0, 0, fmt.Errorf("addrspace: relocation ref %d out of range [0,%d)", mv.Ref, maxRef)
+		}
+		if b.ids[mv.Ref] == 0 {
+			ext, ok := s.objects[mv.ID]
+			if !ok {
+				return 0, 0, fmt.Errorf("%w: %d", ErrUnknownObject, mv.ID)
+			}
+			b.ids[mv.Ref] = mv.ID
+			b.initStart[mv.Ref] = ext.Start
+			b.curStart[mv.Ref] = ext.Start
+			b.size[mv.Ref] = ext.Size
+			b.touched = append(b.touched, mv.Ref)
+		} else if b.ids[mv.Ref] != mv.ID {
+			return 0, 0, fmt.Errorf("addrspace: ref %d bound to object %d, reused for %d", mv.Ref, b.ids[mv.Ref], mv.ID)
+		}
+		old := Extent{Start: b.curStart[mv.Ref], Size: b.size[mv.Ref]}
+		b.oldSteps = append(b.oldSteps, old.Start)
+		if mv.To == old.Start {
+			continue
+		}
+		target := Extent{Start: mv.To, Size: old.Size}
+		if target.Start < 0 {
+			return 0, 0, fmt.Errorf("%w: %v", ErrBadExtent, target)
+		}
+		if s.opts.StrictNonOverlap && target.Overlaps(old) {
+			return 0, 0, fmt.Errorf("%w: %v vs %v", ErrSelfOverlap, target, old)
+		}
+		b.curStart[mv.Ref] = target.Start
+		vol += target.Size
+	}
+	consumed = len(b.oldSteps)
+
+	// The net result of the consumed prefix: objects whose final start
+	// differs from their current one. Objects a plan moves and later moves
+	// back keep their index entry.
+	if finalOrder != nil {
+		prevStart := int64(-1)
+		matched := 0
+		for _, ref := range finalOrder {
+			if int(ref) >= maxRef || b.ids[ref] == 0 {
+				continue // not part of the consumed prefix
+			}
+			if b.seen[ref] {
+				return 0, 0, fmt.Errorf("addrspace: ref %d listed twice in final order", ref)
+			}
+			b.seen[ref] = true
+			matched++
+			if b.curStart[ref] == b.initStart[ref] {
+				continue
+			}
+			if b.curStart[ref] < prevStart {
+				return 0, 0, fmt.Errorf("addrspace: final order not sorted at ref %d", ref)
+			}
+			prevStart = b.curStart[ref]
+			b.finals = append(b.finals, placement{id: b.ids[ref], ext: Extent{Start: b.curStart[ref], Size: b.size[ref]}})
+			b.oldStarts = append(b.oldStarts, b.initStart[ref])
+		}
+		if matched != len(b.touched) {
+			return 0, 0, fmt.Errorf("addrspace: final order covers %d of %d plan objects", matched, len(b.touched))
+		}
+	} else {
+		for _, ref := range b.touched {
+			if b.curStart[ref] == b.initStart[ref] {
+				continue
+			}
+			b.finals = append(b.finals, placement{id: b.ids[ref], ext: Extent{Start: b.curStart[ref], Size: b.size[ref]}})
+			b.oldStarts = append(b.oldStarts, b.initStart[ref])
+		}
+		slices.SortFunc(b.finals, func(a, c placement) int {
+			switch {
+			case a.ext.Start < c.ext.Start:
+				return -1
+			case a.ext.Start > c.ext.Start:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	if !slices.IsSorted(b.oldStarts) {
+		slices.Sort(b.oldStarts)
+	}
+
+	// Validate the resulting layout and rebuild the index in one merge
+	// pass. Flush plans only relocate within the flushed suffix (plus the
+	// overflow segment past it), so every index entry strictly left of the
+	// lowest touched address survives untouched: the index suffix from the
+	// cut point is flattened once, and its entries either keep their place
+	// (skipped via the sorted pre-batch starts — live starts are unique)
+	// or come from the sorted finals. A class-local flush therefore
+	// rebuilds only its own region's slice of the index.
+	cutPos := s.byStart.end()
+	if len(b.finals) > 0 {
+		minAffected := b.finals[0].ext.Start
+		if b.oldStarts[0] < minAffected {
+			minAffected = b.oldStarts[0]
+		}
+		cutPos = s.byStart.lowerBound(minAffected)
+	}
+	b.suffix = s.byStart.flattenFrom(cutPos, b.suffix[:0])
+	// The last untouched entry has the largest end among them; only it can
+	// reach into the merged zone, and it is the footprint floor once every
+	// suffix entry has moved.
+	belowEnd := int64(0)
+	var prev placement
+	havePrev := false
+	if pp, ok := s.byStart.prev(cutPos); ok {
+		prev, havePrev = s.byStart.at(pp), true
+		belowEnd = prev.ext.End()
+	}
+	b.merged = b.merged[:0]
+	i, j, p := 0, 0, 0
+	for i < len(b.suffix) || j < len(b.finals) {
+		var next placement
+		if i < len(b.suffix) {
+			if p < len(b.oldStarts) && b.suffix[i].ext.Start == b.oldStarts[p] {
+				i++
+				p++
+				continue
+			}
+		}
+		switch {
+		case i >= len(b.suffix):
+			next = b.finals[j]
+			j++
+		case j >= len(b.finals) || b.suffix[i].ext.Start <= b.finals[j].ext.Start:
+			next = b.suffix[i]
+			i++
+		default:
+			next = b.finals[j]
+			j++
+		}
+		if havePrev && prev.ext.End() > next.ext.Start {
+			return 0, 0, fmt.Errorf("%w: plan lands %d at %v over %d at %v",
+				ErrOverlap, next.id, next.ext, prev.id, prev.ext)
+		}
+		b.merged = append(b.merged, next)
+		prev, havePrev = next, true
+	}
+
+	// Pass 2: execute. Nothing below can fail, so counters, cell stamps,
+	// the object map, and the freed set evolve exactly as the per-move
+	// path would evolve them. The footprint after each relocation is the
+	// largest of three sources: the rightmost index entry whose object has
+	// not moved yet (index ends are sorted, so a right-to-left cursor
+	// suffices, stepped past moved entries via a heap of their pre-batch
+	// starts), and the max valid entry of a heap fed by every applied
+	// move. The object map is synced lazily: eagerly only when a
+	// checkpoint exposes positions to observers, in bulk otherwise.
+	for _, ref := range b.touched {
+		b.curStart[ref] = b.initStart[ref]
+	}
+	top := len(b.suffix) - 1
+	foot := s.MaxEnd()
+	synced := 0
+	volume = 0
+	midSync := false
+	for k, mv := range plan[:consumed] {
+		oldStart := b.oldSteps[k]
+		if mv.To == oldStart {
+			continue
+		}
+		size := b.size[mv.Ref]
+		target := Extent{Start: mv.To, Size: size}
+		checkpointed := false
+		if s.opts.CheckpointRule && s.freed.intersects(target) {
+			s.blockedWrites++
+			// Observers snapshot object positions on checkpoint events:
+			// bring the map up to date with every move applied so far.
+			b.syncObjects(s, plan, synced, k)
+			synced, midSync = k, true
+			s.Checkpoint()
+			checkpointed = true
+		}
+		if s.opts.CheckpointRule {
+			old := Extent{Start: oldStart, Size: size}
+			var pieces [2]Extent
+			for _, piece := range pieces[:subtract(old, target, &pieces)] {
+				s.freed.add(piece)
+			}
+		}
+		s.stampCells(target, mv.ID)
+		s.moves++
+		volume += size
+		b.curStart[mv.Ref] = target.Start
+
+		if emit == nil {
+			// Nobody observes per-move footprints: skip the trajectory
+			// bookkeeping entirely. Counters, cells, the freed set, and
+			// the final layout are unaffected.
+			continue
+		}
+		pre := foot
+		if !b.everMoved[mv.Ref] {
+			// First applied move of this object: its index entry goes
+			// stale, so its pre-batch end leaves the cursor's world.
+			b.everMoved[mv.Ref] = true
+			pushMax(&b.goneTops, b.initStart[mv.Ref])
+			for top >= 0 && len(b.goneTops) > 0 && b.goneTops[0] == b.suffix[top].ext.Start {
+				popMax(&b.goneTops)
+				top--
+			}
+		}
+		pushEnd(&b.newEnds, endEntry{ref: mv.Ref, end: target.End()})
+		foot = b.topEnd()
+		if top >= 0 {
+			if e := b.suffix[top].ext.End(); e > foot {
+				foot = e
+			}
+		} else if belowEnd > foot {
+			foot = belowEnd
+		}
+		emit(MoveResult{
+			ID: mv.ID, Size: size, From: oldStart, To: target.Start,
+			Footprint: foot, PreFootprint: pre, Checkpointed: checkpointed,
+		})
+	}
+
+	// Commit. After a mid-batch sync every touched object must be
+	// re-synced (an intermediate position may already be in the map);
+	// otherwise only the net-moved ones need their final extents written.
+	if midSync {
+		for _, ref := range b.touched {
+			s.objects[b.ids[ref]] = Extent{Start: b.curStart[ref], Size: b.size[ref]}
+		}
+	} else {
+		for _, f := range b.finals {
+			s.objects[f.id] = f.ext
+		}
+	}
+	s.byStart.replaceSuffix(cutPos, b.merged)
+	return consumed, volume, nil
+}
+
+// syncObjects writes the positions of plan steps [from, upto) into the
+// object map, in order, so superseded intermediate positions resolve to
+// the latest applied one.
+func (b *batchState) syncObjects(s *Space, plan []Relocation, from, upto int) {
+	for i := from; i < upto; i++ {
+		mv := plan[i]
+		if mv.To == b.oldSteps[i] {
+			continue
+		}
+		s.objects[mv.ID] = Extent{Start: mv.To, Size: b.size[mv.Ref]}
+	}
+}
+
+// topEnd returns the largest current end among moved objects, discarding
+// entries made stale by later relocations of the same object (a stale
+// entry can never tie its object's live end: same object and size but a
+// different start).
+func (b *batchState) topEnd() int64 {
+	for len(b.newEnds) > 0 {
+		t := b.newEnds[0]
+		if b.curStart[t.ref]+b.size[t.ref] == t.end {
+			return t.end
+		}
+		n := len(b.newEnds) - 1
+		b.newEnds[0] = b.newEnds[n]
+		b.newEnds = b.newEnds[:n]
+		siftDownEnd(b.newEnds)
+	}
+	return 0
+}
+
+// pushEnd appends e and restores the max-heap property.
+func pushEnd(h *[]endEntry, e endEntry) {
+	hh := append(*h, e)
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hh[parent].end >= hh[i].end {
+			break
+		}
+		hh[parent], hh[i] = hh[i], hh[parent]
+		i = parent
+	}
+	*h = hh
+}
+
+// siftDownEnd restores the max-heap property from the root.
+func siftDownEnd(h []endEntry) {
+	n := len(h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h[l].end > h[big].end {
+			big = l
+		}
+		if r < n && h[r].end > h[big].end {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// pushMax pushes v onto a max-heap of int64s.
+func pushMax(h *[]int64, v int64) {
+	hh := append(*h, v)
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hh[parent] >= hh[i] {
+			break
+		}
+		hh[parent], hh[i] = hh[i], hh[parent]
+		i = parent
+	}
+	*h = hh
+}
+
+// popMax removes the maximum of a max-heap of int64s.
+func popMax(h *[]int64) {
+	hh := *h
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh = hh[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && hh[l] > hh[big] {
+			big = l
+		}
+		if r < n && hh[r] > hh[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		hh[i], hh[big] = hh[big], hh[i]
+		i = big
+	}
+	*h = hh
+}

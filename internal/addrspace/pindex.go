@@ -1,0 +1,253 @@
+package addrspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// pindex is the address-ordered placement index: a two-level sorted
+// container (a directory of bounded blocks) whose concatenation is the
+// sorted-by-start sequence of all live placements.
+//
+// A flat sorted slice pays O(n) memmove per insert and remove — the
+// dominant cost of buffered inserts and deletes once a single structure
+// holds ~10^6 cells. Blocks cap that at O(blockCap) per mutation plus a
+// directory probe, while keeping ordered scans and predecessor queries as
+// cheap as before. The flush executor bypasses per-entry mutation
+// entirely: it flattens the affected suffix, merges it with the move
+// plan's final layout, and splices the result back in (replaceSuffix).
+type pindex struct {
+	blocks [][]placement // each non-empty, sorted; concatenation sorted
+	count  int
+	pool   [][]placement // retired block storage for reuse
+}
+
+// blockCap is the target block size: blocks split at 2*blockCap entries.
+// 128 keeps the per-mutation memmove around 3 KB worst case while the
+// directory stays small enough (n/128 headers) for cheap splices.
+const blockCap = 128
+
+// pos addresses one entry: blocks[b][i].
+type pos struct {
+	b, i int
+}
+
+// len returns the number of entries.
+func (x *pindex) len() int { return x.count }
+
+// last returns the final entry; callers check len first.
+func (x *pindex) last() placement {
+	blk := x.blocks[len(x.blocks)-1]
+	return blk[len(blk)-1]
+}
+
+// at returns the entry at p.
+func (x *pindex) at(p pos) placement { return x.blocks[p.b][p.i] }
+
+// end reports the one-past-the-end position.
+func (x *pindex) end() pos { return pos{b: len(x.blocks), i: 0} }
+
+// valid reports whether p addresses an entry (not end).
+func (x *pindex) valid(p pos) bool { return p.b < len(x.blocks) }
+
+// next advances p by one entry.
+func (x *pindex) next(p pos) pos {
+	p.i++
+	if p.i >= len(x.blocks[p.b]) {
+		return pos{b: p.b + 1}
+	}
+	return p
+}
+
+// prev steps p back by one entry; ok is false at the beginning.
+func (x *pindex) prev(p pos) (pos, bool) {
+	if p.i > 0 {
+		return pos{b: p.b, i: p.i - 1}, true
+	}
+	if p.b == 0 {
+		return pos{}, false
+	}
+	return pos{b: p.b - 1, i: len(x.blocks[p.b-1]) - 1}, true
+}
+
+// lowerBound returns the position of the first entry with Start >= start
+// (end() if none).
+func (x *pindex) lowerBound(start int64) pos {
+	// First block whose last entry reaches start, i.e. the block that
+	// would contain it: directory probe on block minimums.
+	b := sort.Search(len(x.blocks), func(i int) bool {
+		blk := x.blocks[i]
+		return blk[len(blk)-1].ext.Start >= start
+	})
+	if b == len(x.blocks) {
+		return x.end()
+	}
+	blk := x.blocks[b]
+	i := sort.Search(len(blk), func(j int) bool { return blk[j].ext.Start >= start })
+	return pos{b: b, i: i}
+}
+
+// takeBlock returns an empty block with room for 2*blockCap entries.
+func (x *pindex) takeBlock() []placement {
+	if n := len(x.pool); n > 0 {
+		blk := x.pool[n-1]
+		x.pool = x.pool[:n-1]
+		return blk[:0]
+	}
+	return make([]placement, 0, 2*blockCap)
+}
+
+// insert adds p, keeping order. Entries' starts are unique, so ties cannot
+// occur.
+func (x *pindex) insert(p placement) {
+	x.count++
+	if len(x.blocks) == 0 {
+		blk := x.takeBlock()
+		x.blocks = append(x.blocks, append(blk, p))
+		return
+	}
+	// Block to host p: the one whose range covers it, i.e. the last block
+	// whose first entry is <= p (new minima go to block 0).
+	b := sort.Search(len(x.blocks), func(i int) bool {
+		return x.blocks[i][0].ext.Start > p.ext.Start
+	})
+	if b > 0 {
+		b--
+	}
+	blk := x.blocks[b]
+	i := sort.Search(len(blk), func(j int) bool { return blk[j].ext.Start >= p.ext.Start })
+	blk = append(blk, placement{})
+	copy(blk[i+1:], blk[i:])
+	blk[i] = p
+	x.blocks[b] = blk
+	if len(blk) == cap(blk) {
+		x.split(b)
+	}
+}
+
+// split divides block b in two.
+func (x *pindex) split(b int) {
+	blk := x.blocks[b]
+	half := len(blk) / 2
+	right := append(x.takeBlock(), blk[half:]...)
+	x.blocks[b] = blk[:half]
+	x.blocks = append(x.blocks, nil)
+	copy(x.blocks[b+2:], x.blocks[b+1:])
+	x.blocks[b+1] = right
+}
+
+// removeAt deletes the entry at p; empty blocks leave the directory.
+func (x *pindex) removeAt(p pos) {
+	x.count--
+	blk := x.blocks[p.b]
+	copy(blk[p.i:], blk[p.i+1:])
+	blk = blk[:len(blk)-1]
+	x.blocks[p.b] = blk
+	if len(blk) == 0 {
+		x.pool = append(x.pool, blk)
+		copy(x.blocks[p.b:], x.blocks[p.b+1:])
+		x.blocks = x.blocks[:len(x.blocks)-1]
+	}
+}
+
+// find resolves the position of id, known to live at ext. Live starts are
+// unique, so the exact search either lands on the entry or the index and
+// the object map have desynced — a corrupted structure no defensive walk
+// should paper over, so it panics.
+func (x *pindex) find(id ID, ext Extent) pos {
+	p := x.lowerBound(ext.Start)
+	if !x.valid(p) || x.at(p).id != id || x.at(p).ext != ext {
+		panic(fmt.Sprintf("addrspace: index desync: object %d at %v not found", id, ext))
+	}
+	return p
+}
+
+// forEach visits entries in address order.
+func (x *pindex) forEach(fn func(id ID, ext Extent)) {
+	for _, blk := range x.blocks {
+		for _, p := range blk {
+			fn(p.id, p.ext)
+		}
+	}
+}
+
+// forEachFrom visits entries from p to the end in address order.
+func (x *pindex) forEachFrom(p pos, fn func(id ID, ext Extent)) {
+	if !x.valid(p) {
+		return
+	}
+	for _, e := range x.blocks[p.b][p.i:] {
+		fn(e.id, e.ext)
+	}
+	for b := p.b + 1; b < len(x.blocks); b++ {
+		for _, e := range x.blocks[b] {
+			fn(e.id, e.ext)
+		}
+	}
+}
+
+// flattenFrom appends the entries from p to the end onto dst.
+func (x *pindex) flattenFrom(p pos, dst []placement) []placement {
+	if !x.valid(p) {
+		return dst
+	}
+	dst = append(dst, x.blocks[p.b][p.i:]...)
+	for b := p.b + 1; b < len(x.blocks); b++ {
+		dst = append(dst, x.blocks[b]...)
+	}
+	return dst
+}
+
+// replaceSuffix substitutes everything from p on with ents (sorted, same
+// address range), reusing retired blocks. The flush executor calls this
+// once per batch instead of mutating entry by entry.
+func (x *pindex) replaceSuffix(p pos, ents []placement) {
+	removed := 0
+	if x.valid(p) {
+		blk := x.blocks[p.b]
+		removed += len(blk) - p.i
+		x.blocks[p.b] = blk[:p.i]
+		for b := p.b + 1; b < len(x.blocks); b++ {
+			removed += len(x.blocks[b])
+			x.pool = append(x.pool, x.blocks[b])
+		}
+		keep := p.b + 1
+		if p.i == 0 {
+			x.pool = append(x.pool, x.blocks[p.b])
+			keep = p.b
+		}
+		x.blocks = x.blocks[:keep]
+	}
+	x.count += len(ents) - removed
+	for off := 0; off < len(ents); off += blockCap {
+		end := off + blockCap
+		if end > len(ents) {
+			end = len(ents)
+		}
+		x.blocks = append(x.blocks, append(x.takeBlock(), ents[off:end]...))
+	}
+}
+
+// verify checks the container invariants: non-empty blocks, global order,
+// and an accurate count.
+func (x *pindex) verify() error {
+	total := 0
+	var prev placement
+	havePrev := false
+	for bi, blk := range x.blocks {
+		if len(blk) == 0 {
+			return fmt.Errorf("addrspace: index block %d is empty", bi)
+		}
+		for _, p := range blk {
+			if havePrev && prev.ext.Start >= p.ext.Start {
+				return fmt.Errorf("addrspace: index entries out of order (%v then %v)", prev.ext, p.ext)
+			}
+			prev, havePrev = p, true
+			total++
+		}
+	}
+	if total != x.count {
+		return fmt.Errorf("addrspace: index count %d, actual %d", x.count, total)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ func benchFill(b *testing.B, variant Variant, n int) *Reallocator {
 func BenchmarkInsertBuffered(b *testing.B) {
 	r := benchFill(b, Amortized, 10000)
 	id := ID(1 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := r.Insert(id, 1); err != nil {
@@ -53,6 +54,7 @@ func BenchmarkFlush(b *testing.B) {
 	for _, n := range []int{1000, 10000, 50000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			r := benchFill(b, Amortized, n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// Force a flush by triggering the no-room path: a delete
@@ -83,6 +85,7 @@ func BenchmarkFlush(b *testing.B) {
 // BenchmarkBoundaryClass isolates the boundary-class scan.
 func BenchmarkBoundaryClass(b *testing.B) {
 	r := benchFill(b, Amortized, 20000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = r.boundaryClass(0)
@@ -92,6 +95,7 @@ func BenchmarkBoundaryClass(b *testing.B) {
 // BenchmarkLayoutCompute isolates the suffix-geometry computation.
 func BenchmarkLayoutCompute(b *testing.B) {
 	r := benchFill(b, Amortized, 20000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = r.computeLayout(0)
@@ -102,6 +106,7 @@ func BenchmarkLayoutCompute(b *testing.B) {
 // after every request in tests).
 func BenchmarkCheckInvariants(b *testing.B) {
 	r := benchFill(b, Amortized, 20000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := r.CheckInvariants(); err != nil {

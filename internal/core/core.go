@@ -62,6 +62,11 @@ type Config struct {
 	// Paranoid re-validates every structural invariant after each request
 	// and makes violations return errors. Tests set it; benchmarks don't.
 	Paranoid bool
+	// SerialFlush executes flush move schedules through the per-move
+	// reference path instead of the batched executor. Both produce
+	// identical event streams, layouts, and stats (the differential tests
+	// assert it); this exists for cross-checking and debugging.
+	SerialFlush bool
 }
 
 // Errors returned by Reallocator operations.
@@ -102,6 +107,9 @@ type object struct {
 	// deletePending marks objects whose delete request is sitting in the
 	// log (the object stays active until the drain applies it).
 	deletePending bool
+	// slot is the object's post-flush payload position, assigned by
+	// layoutPlan.assignSlots while a flush schedule is being built.
+	slot int64
 }
 
 // tailBuffer is the sentinel bufClass for objects parked in the tail
@@ -127,6 +135,9 @@ type region struct {
 	bufSize  int64 // buffer capacity
 	bufFill  int64 // consumed buffer capacity (objects + dummies)
 	items    []bufItem
+	// cursor is assignSlots' next free payload position while the region
+	// is part of a layout plan under construction; meaningless after.
+	cursor int64
 }
 
 func (r *region) bufStart() int64 { return r.payStart + r.paySize }
@@ -150,11 +161,14 @@ type Reallocator struct {
 
 	space *addrspace.Space
 	rec   trace.Recorder
+	// nullRec marks a discard-everything recorder: batch execution then
+	// skips per-move footprint reconstruction entirely (the event stream
+	// has no audience; state evolution is identical either way).
+	nullRec bool
 
-	objs       map[ID]*object
-	objByClass map[int]map[ID]*object
-	regions    []*region // ascending class order
-	tailBuf    *tail     // Deamortized only
+	objs    map[ID]*object
+	regions []*region // ascending class order
+	tailBuf *tail     // Deamortized only
 
 	vol        int64 // total live volume V
 	volByClass map[int]int64
@@ -169,6 +183,22 @@ type Reallocator struct {
 	// dirty marks rare placements outside the canonical contiguous layout
 	// (tail overflow, new max class mid-flush); cleared by the next flush.
 	dirty bool
+
+	// Flush scratch, reused so steady-state flushes allocate nothing: the
+	// move plan under construction (handed to flushPlan, which retires
+	// before the next flush starts), the address-ordered payload/buffered
+	// collections, the flushed class list, the next layout's region slice,
+	// and pools of retired region and object records.
+	planBuf    []addrspace.Relocation
+	cumBuf     []int64
+	orderBuf   []int32
+	countBuf   []int
+	payBuf     []*object
+	bufBuf     []*object
+	classBuf   []int
+	regionBuf  []*region
+	regionPool []*region
+	objPool    []*object
 }
 
 // New creates a Reallocator. It validates Config and chooses the substrate
@@ -199,13 +229,14 @@ func New(cfg Config) (*Reallocator, error) {
 	if rec == nil {
 		rec = trace.Null{}
 	}
+	_, nullRec := rec.(trace.Null)
 	r := &Reallocator{
 		cfg:        cfg,
 		eps:        eps,
 		space:      addrspace.New(opts),
 		rec:        rec,
+		nullRec:    nullRec,
 		objs:       make(map[ID]*object),
-		objByClass: make(map[int]map[ID]*object),
 		volByClass: make(map[int]int64),
 	}
 	if cfg.Variant == Deamortized {
@@ -321,10 +352,92 @@ func (r *Reallocator) workQuota(w int64) int64 {
 
 // emit sends an event to the recorder, filling in footprint and volume.
 func (r *Reallocator) emit(kind trace.Kind, id ID, size, from, to int64) {
+	r.emitAt(kind, id, size, from, to, r.space.MaxEnd())
+}
+
+// emitAt is emit with an explicit footprint, for events observed mid-batch
+// when the substrate's index has not been rebuilt yet.
+func (r *Reallocator) emitAt(kind trace.Kind, id ID, size, from, to, footprint int64) {
 	r.rec.Record(trace.Event{
 		Kind: kind, ID: int64(id), Size: size, From: from, To: to,
-		Footprint: r.space.MaxEnd(), Volume: r.vol,
+		Footprint: footprint, Volume: r.vol,
 	})
+}
+
+// emitPlanMove relays one batched relocation to the recorder with the same
+// event sequence the per-move path produces: a checkpoint event if the
+// move blocked, then the move itself.
+func (r *Reallocator) emitPlanMove(m addrspace.MoveResult) {
+	if m.Checkpointed {
+		r.emitAt(trace.KCheckpoint, 0, 0, 0, 0, m.PreFootprint)
+	}
+	r.emitAt(trace.KMove, m.ID, m.Size, m.From, m.To, m.Footprint)
+}
+
+// batchThreshold is the hybrid-executor crossover: chunks expected to
+// apply at least this many moves go through the batched executor. The
+// batch rebuilds the touched index suffix in one merge, which a handful
+// of moves cannot amortize against its setup; anything bigger can.
+const batchThreshold = 8
+
+// applyPlan executes up to budget volume of a flush move plan and returns
+// the number of consumed plan entries and the volume they moved. est is
+// the expected number of consumed entries, which picks the executor; both
+// produce identical event streams, so the choice is pure policy.
+// Config.SerialFlush forces the per-move reference path. Paranoid mode
+// re-verifies the substrate after every batch, cross-checking the merge
+// rebuild.
+func (r *Reallocator) applyPlan(moves []addrspace.Relocation, maxRef int, finalOrder []int32, budget int64, est int) (int, int64, error) {
+	if r.cfg.SerialFlush || est < batchThreshold {
+		return r.applyPlanSerial(moves, budget)
+	}
+	var emit func(addrspace.MoveResult)
+	if !r.nullRec {
+		emit = r.emitPlanMove
+	}
+	n, vol, err := r.space.ApplyMoves(moves, maxRef, finalOrder, budget, emit)
+	if err == nil && r.cfg.Paranoid {
+		err = r.space.Verify()
+	}
+	return n, vol, err
+}
+
+// applyPlanSerial is applyPlan through per-move Move calls: one entry at a
+// time while the applied volume stays below budget, transparently blocking
+// on checkpoints.
+func (r *Reallocator) applyPlanSerial(moves []addrspace.Relocation, budget int64) (int, int64, error) {
+	var vol int64
+	for i, m := range moves {
+		if vol >= budget {
+			return i, vol, nil
+		}
+		moved, err := r.moveCkpt(m.ID, m.To)
+		if err != nil {
+			return i + 1, vol, err
+		}
+		if moved {
+			vol += r.objs[m.ID].size
+		}
+	}
+	return len(moves), vol, nil
+}
+
+// takeObject returns a recycled object record, or a fresh one.
+func (r *Reallocator) takeObject() *object {
+	if n := len(r.objPool); n > 0 {
+		o := r.objPool[n-1]
+		r.objPool = r.objPool[:n-1]
+		return o
+	}
+	return new(object)
+}
+
+// putObject recycles a record whose object has been fully removed.
+// Annihilated log entries may still point at it; they are dead and never
+// dereferenced.
+func (r *Reallocator) putObject(o *object) {
+	*o = object{}
+	r.objPool = append(r.objPool, o)
 }
 
 // emitOpEnd closes a request.
@@ -337,16 +450,6 @@ func (r *Reallocator) emitOpEnd() {
 		Kind: trace.KOpEnd, From: structSize,
 		Footprint: r.space.MaxEnd(), Volume: r.vol,
 	})
-}
-
-// classObjects returns the per-class object set, creating it on demand.
-func (r *Reallocator) classObjects(c int) map[ID]*object {
-	m := r.objByClass[c]
-	if m == nil {
-		m = make(map[ID]*object)
-		r.objByClass[c] = m
-	}
-	return m
 }
 
 // maxRegionClass returns the largest class with a region, or -1.

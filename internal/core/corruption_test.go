@@ -88,12 +88,13 @@ func TestCheckerCatchesForeignBufferItem(t *testing.T) {
 	expectViolation(t, r, "Invariant 2.2.4")
 }
 
-func TestCheckerCatchesClassIndexDesync(t *testing.T) {
+func TestCheckerCatchesObjectKeyDesync(t *testing.T) {
 	r := corruptible(t)
-	// Remove an object from the per-class index only.
+	// Rebind an object record under a foreign map key.
 	for id, o := range r.objs {
-		delete(r.classObjects(o.class), id)
-		expectViolation(t, r, "class index")
+		delete(r.objs, id)
+		r.objs[id+1000] = o
+		expectViolation(t, r, "map key")
 		return
 	}
 }

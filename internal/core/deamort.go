@@ -52,12 +52,12 @@ func (r *Reallocator) LogDepth() int { return r.log.pending() }
 // logInsert places a mid-flush insert at the end of the log region.
 func (r *Reallocator) logInsert(id ID, size int64) error {
 	pos := r.log.end
-	obj := &object{id: id, size: size, class: ClassOf(size), place: inLog, logIdx: len(r.log.entries)}
+	obj := r.takeObject()
+	obj.id, obj.size, obj.class, obj.place, obj.logIdx = id, size, ClassOf(size), inLog, len(r.log.entries)
 	if err := r.placeCkpt(id, addrspace.Extent{Start: pos, Size: size}); err != nil {
 		return err
 	}
 	r.objs[id] = obj
-	r.classObjects(obj.class)[id] = obj
 	r.vol += size
 	r.volByClass[obj.class] += size
 	if size > r.delta {
@@ -80,8 +80,8 @@ func (r *Reallocator) logDelete(obj *object) error {
 		r.vol -= obj.size
 		r.volByClass[obj.class] -= obj.size
 		delete(r.objs, obj.id)
-		delete(r.classObjects(obj.class), obj.id)
 		r.emit(trace.KDelete, obj.id, obj.size, 0, 0)
+		r.putObject(obj)
 		return nil
 	}
 	obj.deletePending = true
@@ -163,7 +163,6 @@ func (r *Reallocator) drainDelete(obj *object) error {
 	r.vol -= obj.size
 	r.volByClass[obj.class] -= obj.size
 	delete(r.objs, obj.id)
-	delete(r.classObjects(obj.class), obj.id)
 
 	switch obj.place {
 	case inBuffer:
@@ -195,5 +194,6 @@ func (r *Reallocator) drainDelete(obj *object) error {
 		return fmt.Errorf("core: drained delete of %d in unexpected state %d", obj.id, obj.place)
 	}
 	r.emit(trace.KDelete, obj.id, obj.size, 0, 0)
+	r.putObject(obj)
 	return nil
 }

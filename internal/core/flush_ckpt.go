@@ -1,21 +1,23 @@
 package core
 
-import "realloc/internal/trace"
+import (
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
 
 // flushPlan is the fully computed move schedule of a Section 3 flush. The
 // atomic Checkpointed variant executes it in one request; the Deamortized
-// variant executes (4/ε')·w volume of it per subsequent request.
+// variant executes (4/ε')·w volume of it per subsequent request, each
+// request's share consumed as one volume-bounded chunk. cum[i] is the
+// total volume of moves[:i], so a quota translates into an expected chunk
+// length without walking the plan.
 type flushPlan struct {
-	moves       []planMove
+	moves       []addrspace.Relocation
+	cum         []int64
+	maxRef      int
+	finalOrder  []int32
 	next        int
 	movedVolume int64
-}
-
-// planMove relocates one object to a precomputed target.
-type planMove struct {
-	id   ID
-	to   int64
-	size int64
 }
 
 // startFlush builds and installs a Section 3.2 flush plan. For an
@@ -43,8 +45,16 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 
 	L := r.space.MaxEnd() - wtrig
 	lp := r.computeLayout(b)
-	payload, buffered := r.flushedObjects(b)
-	slots := lp.finalSlots(payload, buffered, nil)
+	// Every flushed object sits at or beyond the suffix start — except a
+	// flush-triggering insert, which placeTrigger put at L, the pre-flush
+	// endpoint of the last object; deletes can have emptied the suffix's
+	// tail so that L lies below it. Widen the walk to cover the trigger.
+	walkStart := lp.suffixStart
+	if wtrig > 0 && L < walkStart {
+		walkStart = L
+	}
+	payload, buffered := r.flushedObjects(b, walkStart)
+	lp.assignSlots(payload, buffered, nil)
 	B := r.flushedBufferSpace(lp.flushIdx)
 	LPrime := lp.newEnd - wtrig
 	W := L
@@ -58,11 +68,18 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 		U += o.size
 	}
 
-	moves := make([]planMove, 0, 2*len(payload)+2*len(buffered))
+	// Plan refs: payload[i] is ref i, buffered[i] is ref len(payload)+i.
+	moves := r.planBuf[:0]
+	cum := append(r.cumBuf[:0], 0)
+	push := func(id ID, to, size int64, ref int32) {
+		moves = append(moves, addrspace.Relocation{ID: id, To: to, Ref: ref})
+		cum = append(cum, cum[len(cum)-1]+size)
+	}
+	bufRef := func(i int) int32 { return int32(len(payload) + i) }
 	// Step 1: evacuate buffered objects to [W, W+U).
 	off := W
-	for _, o := range buffered {
-		moves = append(moves, planMove{id: o.id, to: off, size: o.size})
+	for i, o := range buffered {
+		push(o.id, off, o.size, bufRef(i))
 		off += o.size
 	}
 	// Step 2: pack payload objects rightward ending at W (largest class
@@ -71,16 +88,17 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 	for i := len(payload) - 1; i >= 0; i-- {
 		o := payload[i]
 		cursor -= o.size
-		moves = append(moves, planMove{id: o.id, to: cursor, size: o.size})
+		push(o.id, cursor, o.size, int32(i))
 	}
 	// Step 3: unpack leftward to final positions (smallest class first).
-	for _, o := range payload {
-		moves = append(moves, planMove{id: o.id, to: slots[o.id], size: o.size})
+	for i, o := range payload {
+		push(o.id, o.slot, o.size, int32(i))
 	}
 	// Step 4: buffered objects down into their payload tails.
-	for _, o := range buffered {
-		moves = append(moves, planMove{id: o.id, to: slots[o.id], size: o.size})
+	for i, o := range buffered {
+		push(o.id, o.slot, o.size, bufRef(i))
 	}
+	r.planBuf, r.cumBuf = moves, cum
 
 	// Bookkeeping switches to the post-flush geometry now; physical
 	// positions catch up as the plan executes. Every flushed object ends
@@ -92,7 +110,12 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 		o.place = inPayload
 	}
 	r.install(lp)
-	r.plan = &flushPlan{moves: moves}
+	r.plan = &flushPlan{
+		moves:      moves,
+		cum:        cum,
+		maxRef:     len(payload) + len(buffered),
+		finalOrder: r.buildFinalOrder(&lp, payload, buffered),
+	}
 
 	// Updates arriving while the plan runs are placed in the log region,
 	// which begins past both the overflow segment and the new tail buffer.
@@ -112,20 +135,28 @@ func (r *Reallocator) advance(q int64) error {
 	return err
 }
 
-// advanceQuota is advance returning the unused quota.
+// advanceQuota is advance returning the unused quota. The remaining plan
+// is consumed in volume-bounded batches: each call applies one chunk of at
+// most q volume (overshooting by at most one move, exactly like the
+// per-move quota loop it replaces).
 func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 	for q > 0 && r.plan != nil {
 		p := r.plan
 		if p.next < len(p.moves) {
-			m := p.moves[p.next]
-			p.next++
-			moved, err := r.moveCkpt(m.id, m.to)
+			// A chunk that provably runs the plan to completion can hand
+			// the precomputed final ordering to the batch executor; a
+			// truncated one ends in an intermediate layout it must sort out
+			// itself.
+			var finalOrder []int32
+			if q >= p.cum[len(p.moves)]-p.cum[p.next] {
+				finalOrder = p.finalOrder
+			}
+			n, vol, err := r.applyPlan(p.moves[p.next:], p.maxRef, finalOrder, q, p.chunkLen(q))
+			p.next += n
+			p.movedVolume += vol
+			q -= vol
 			if err != nil {
 				return q, err
-			}
-			if moved {
-				q -= m.size
-				p.movedVolume += m.size
 			}
 			continue
 		}
@@ -153,6 +184,28 @@ func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 		q = 0
 	}
 	return q, nil
+}
+
+// chunkLen returns how many remaining plan entries a quota of q volume is
+// expected to consume: entries keep being consumed while the applied
+// volume is below q, overshooting by at most one move. No-op moves make
+// this an estimate; it only steers the executor choice.
+func (p *flushPlan) chunkLen(q int64) int {
+	rest := len(p.moves) - p.next
+	if q >= p.cum[len(p.moves)]-p.cum[p.next] {
+		return rest
+	}
+	base := p.cum[p.next]
+	lo, hi := 0, rest-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[p.next+mid+1]-base < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
 }
 
 // finishFlush retires the completed plan and, if the tail buffer

@@ -14,77 +14,62 @@ import (
 //  2. compact all flushed payload objects leftward (removing holes),
 //  3. expand them rightward to their final, gap-accommodating positions,
 //  4. pull the buffered objects down into their payload tails.
+//
+// The whole schedule is built as one move plan and applied in a single
+// batch (see addrspace.ApplyMoves); the observable event stream is
+// identical to executing it move by move.
 func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
 	r.flushes++
 	b := r.boundaryClass(trigClass)
 	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
-	var flushedVol int64
 
 	lp := r.computeLayout(b)
-	payload, buffered := r.flushedObjects(b)
-	slots := lp.finalSlots(payload, buffered, trigger)
+	payload, buffered := r.flushedObjects(b, lp.suffixStart)
+	lp.assignSlots(payload, buffered, trigger)
 
-	// Step 1: evacuate buffered objects to the overflow segment, which
-	// starts after both the current suffix (which may be longer when
-	// deletes shrank the volume) and the new one.
+	// Step 1 targets: the overflow segment, which starts after both the
+	// current suffix (which may be longer when deletes shrank the volume)
+	// and the new one.
 	overflow := lp.newEnd
 	if cur := r.structEndCurrent(); cur > overflow {
 		overflow = cur
 	}
+	// Plan refs: payload[i] is ref i, buffered[i] is ref len(payload)+i.
+	plan := r.planBuf[:0]
+	bufRef := func(i int) int32 { return int32(len(payload) + i) }
 	off := overflow
-	for _, o := range buffered {
-		moved, err := r.moveObj(o, off)
-		if err != nil {
-			return err
-		}
-		if moved {
-			flushedVol += o.size
-		}
-		o.place = inOverflow
+	for i, o := range buffered {
+		plan = append(plan, addrspace.Relocation{ID: o.id, To: off, Ref: bufRef(i)})
 		off += o.size
 	}
-
-	// Step 2: compact payload objects leftward, packing them with no gaps
-	// from the suffix start. Class order is preserved because regions are
-	// visited in ascending class order and payload lists are
-	// address-sorted.
+	// Step 2 targets: packed with no gaps from the suffix start. Class
+	// order is preserved because payload objects arrive address-sorted.
 	pos := lp.suffixStart
-	for _, o := range payload {
-		moved, err := r.moveObj(o, pos)
-		if err != nil {
-			return err
-		}
-		if moved {
-			flushedVol += o.size
-		}
+	for i, o := range payload {
+		plan = append(plan, addrspace.Relocation{ID: o.id, To: pos, Ref: int32(i)})
 		pos += o.size
 	}
-
 	// Step 3: expand rightward to final positions, largest class first and
 	// right-to-left within it, so no move lands on a not-yet-moved object.
 	for i := len(payload) - 1; i >= 0; i-- {
-		o := payload[i]
-		moved, err := r.moveObj(o, slots[o.id])
-		if err != nil {
-			return err
-		}
-		if moved {
-			flushedVol += o.size
-		}
+		plan = append(plan, addrspace.Relocation{ID: payload[i].id, To: payload[i].slot, Ref: int32(i)})
 	}
+	// Step 4: buffered objects down into their payload tails.
+	for i, o := range buffered {
+		plan = append(plan, addrspace.Relocation{ID: o.id, To: o.slot, Ref: bufRef(i)})
+	}
+	r.planBuf = plan
 
-	// Step 4: place buffered objects into their payload tails.
-	for _, o := range buffered {
-		moved, err := r.moveObj(o, slots[o.id])
-		if err != nil {
-			return err
-		}
-		if moved {
-			flushedVol += o.size
-		}
-		o.place = inPayload
+	maxRef := len(payload) + len(buffered)
+	finalOrder := r.buildFinalOrder(&lp, payload, buffered)
+	_, flushedVol, err := r.applyPlan(plan, maxRef, finalOrder, quotaAll, len(plan))
+	if err != nil {
+		return err
 	}
 	for _, o := range payload {
+		o.place = inPayload
+	}
+	for _, o := range buffered {
 		o.place = inPayload
 	}
 
@@ -93,7 +78,7 @@ func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
 	// Finally place the triggering insert at the reserved end of its class
 	// payload; this is its initial allocation, not a reallocation.
 	if trigger != nil {
-		if err := r.placeCkpt(trigger.id, addrspace.Extent{Start: slots[trigger.id], Size: trigger.size}); err != nil {
+		if err := r.placeCkpt(trigger.id, addrspace.Extent{Start: trigger.slot, Size: trigger.size}); err != nil {
 			return err
 		}
 		trigger.place = inPayload

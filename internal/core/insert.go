@@ -51,9 +51,9 @@ func (r *Reallocator) Insert(id ID, size int64) error {
 	c := ClassOf(size)
 	r.vol += size
 	r.volByClass[c] += size
-	obj := &object{id: id, size: size, class: c, place: inLimbo}
+	obj := r.takeObject()
+	obj.id, obj.size, obj.class, obj.place = id, size, c, inLimbo
 	r.objs[id] = obj
-	r.classObjects(c)[id] = obj
 
 	if err := r.insertPlaced(obj, quota); err != nil {
 		return err
@@ -233,7 +233,6 @@ func (r *Reallocator) deleteNow(obj *object, quota int64) error {
 	r.vol -= obj.size
 	r.volByClass[obj.class] -= obj.size
 	delete(r.objs, obj.id)
-	delete(r.classObjects(obj.class), obj.id)
 
 	switch obj.place {
 	case inBuffer:
@@ -245,36 +244,39 @@ func (r *Reallocator) deleteNow(obj *object, quota int64) error {
 			return err
 		}
 		r.emit(trace.KDelete, obj.id, obj.size, 0, 0)
+		r.putObject(obj)
 		return nil
 	case inPayload:
-		if idx, ok := r.regionIndex(obj.class); ok {
-			r.regions[idx].payLive -= obj.size
+		size, class := obj.size, obj.class
+		if idx, ok := r.regionIndex(class); ok {
+			r.regions[idx].payLive -= size
 		}
 		if err := r.space.Remove(obj.id); err != nil {
 			return err
 		}
-		r.emit(trace.KDelete, obj.id, obj.size, 0, 0)
+		r.emit(trace.KDelete, obj.id, size, 0, 0)
+		r.putObject(obj)
 		// The hole persists; a dummy record must consume buffer space so
 		// that enough deletes eventually force a flush.
-		dummy := bufItem{size: obj.size, class: obj.class}
-		if idx, ok := r.findBuffer(obj.class, obj.size); ok {
+		dummy := bufItem{size: size, class: class}
+		if idx, ok := r.findBuffer(class, size); ok {
 			reg := r.regions[idx]
 			reg.items = append(reg.items, dummy)
-			reg.bufFill += obj.size
+			reg.bufFill += size
 			return nil
 		}
-		if t := r.tailBuf; t != nil && t.fill+obj.size <= t.cap {
+		if t := r.tailBuf; t != nil && t.fill+size <= t.cap {
 			t.items = append(t.items, dummy)
-			t.fill += obj.size
+			t.fill += size
 			return nil
 		}
 		// The dummy would overflow the last buffer: trigger the flush
 		// without consuming space for it (Section 3.2).
 		switch r.cfg.Variant {
 		case Amortized:
-			return r.flushRAM(obj.class, nil)
+			return r.flushRAM(class, nil)
 		default:
-			if err := r.startFlush(obj.class, 0); err != nil {
+			if err := r.startFlush(class, 0); err != nil {
 				return err
 			}
 			if r.cfg.Variant == Checkpointed {

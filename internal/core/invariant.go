@@ -94,9 +94,6 @@ func (r *Reallocator) checkObjects() error {
 		if o.size < 1 || ClassOf(o.size) != o.class {
 			return fmt.Errorf("core: object %d size/class mismatch (%d, %d)", id, o.size, o.class)
 		}
-		if set := r.objByClass[o.class]; set[id] != o {
-			return fmt.Errorf("core: object %d missing from class index", id)
-		}
 		ext, ok := r.space.Extent(id)
 		if !ok {
 			return fmt.Errorf("core: object %d has no physical placement", id)

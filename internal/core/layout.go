@@ -33,6 +33,8 @@ func (r *Reallocator) boundaryClass(trigClass int) int {
 }
 
 // layoutPlan is the computed post-flush geometry of the flushed suffix.
+// Its region slice is scratch owned by the Reallocator; install consumes
+// it before the next flush rebuilds it.
 type layoutPlan struct {
 	boundary    int
 	flushIdx    int   // regions[flushIdx:] are flushed
@@ -44,34 +46,38 @@ type layoutPlan struct {
 
 // computeLayout determines the new suffix geometry for a flush with
 // boundary b. Classes >= b with live volume get payload V(c) and buffer
-// ⌊ε'·V(c)⌋; empty classes vanish.
+// ⌊ε'·V(c)⌋; empty classes vanish. Region records come from the pool of
+// previously flushed-away regions, so steady-state flushes allocate
+// nothing here.
 func (r *Reallocator) computeLayout(b int) layoutPlan {
 	idx, _ := r.regionIndex(b)
 	start := int64(0)
 	if idx > 0 {
 		start = r.regions[idx-1].end()
 	}
-	var classes []int
+	classes := r.classBuf[:0]
 	for c, v := range r.volByClass {
 		if c >= b && v > 0 {
 			classes = append(classes, c)
 		}
 	}
 	sort.Ints(classes)
-	lp := layoutPlan{boundary: b, flushIdx: idx, suffixStart: start}
+	r.classBuf = classes
+	lp := layoutPlan{boundary: b, flushIdx: idx, suffixStart: start, newRegions: r.regionBuf[:0]}
 	pos := start
 	for _, c := range classes {
 		v := r.volByClass[c]
-		reg := &region{
-			class:    c,
-			payStart: pos,
-			paySize:  v,
-			payLive:  v,
-			bufSize:  r.bufCap(v),
-		}
+		reg := r.takeRegion()
+		reg.class = c
+		reg.payStart = pos
+		reg.paySize = v
+		reg.payLive = v
+		reg.bufSize = r.bufCap(v)
+		reg.cursor = pos
 		pos = reg.end()
 		lp.newRegions = append(lp.newRegions, reg)
 	}
+	r.regionBuf = lp.newRegions
 	lp.newEnd = pos
 	if r.tailBuf != nil {
 		lp.newTailCap = r.bufCap(r.vol)
@@ -79,90 +85,151 @@ func (r *Reallocator) computeLayout(b int) layoutPlan {
 	return lp
 }
 
+// takeRegion returns a recycled region record (buffer items cleared, fill
+// zeroed) or a fresh one.
+func (r *Reallocator) takeRegion() *region {
+	if n := len(r.regionPool); n > 0 {
+		reg := r.regionPool[n-1]
+		r.regionPool = r.regionPool[:n-1]
+		reg.items = reg.items[:0]
+		reg.bufFill = 0
+		return reg
+	}
+	return &region{}
+}
+
 // flushedObjects gathers the live objects involved in flushing classes
 // >= b, split into payload survivors and buffered objects, each sorted by
 // current address (dummies are not objects and are simply dropped). The
-// trigger object, if physically placed in a buffer already, is among the
-// buffered ones.
-func (r *Reallocator) flushedObjects(b int) (payload, buffered []*object) {
-	type placed struct {
-		o     *object
-		start int64
-	}
-	var pay, buf []placed
-	for c, set := range r.objByClass {
-		if c < b {
-			continue
+// flushed classes occupy the address suffix from suffixStart on (the
+// boundary computation guarantees no smaller-class item is buffered
+// there), and the substrate's index is address-sorted, so one ranged walk
+// collects both lists in order — no per-flush sort, no full-index scan,
+// and the returned slices are scratch reused across flushes. The trigger
+// object, if physically placed in a buffer already, is among the buffered
+// ones.
+func (r *Reallocator) flushedObjects(b int, suffixStart int64) (payload, buffered []*object) {
+	pay, buf := r.payBuf[:0], r.bufBuf[:0]
+	r.space.ForEachFrom(suffixStart, func(id ID, _ addrspace.Extent) {
+		o := r.objs[id]
+		if o.class < b {
+			return
 		}
-		for _, o := range set {
-			switch o.place {
-			case inPayload:
-				pay = append(pay, placed{o, r.extentOf(o).Start})
-			case inBuffer:
-				buf = append(buf, placed{o, r.extentOf(o).Start})
-			}
+		switch o.place {
+		case inPayload:
+			pay = append(pay, o)
+		case inBuffer:
+			buf = append(buf, o)
 		}
-	}
-	byStart := func(s []placed) []*object {
-		sort.Slice(s, func(i, j int) bool { return s[i].start < s[j].start })
-		out := make([]*object, len(s))
-		for i, p := range s {
-			out[i] = p.o
-		}
-		return out
-	}
-	return byStart(pay), byStart(buf)
+	})
+	r.payBuf, r.bufBuf = pay, buf
+	return pay, buf
 }
 
-// finalSlots assigns every flushed object its post-flush position:
-// per class, payload survivors first (in their current relative order),
-// then buffered objects, then the pending Section 2 trigger object (which
-// is not yet physically placed). It returns the target start per object id.
-func (lp *layoutPlan) finalSlots(payload, buffered []*object, trigger *object) map[ID]int64 {
-	slots := make(map[ID]int64, len(payload)+len(buffered)+1)
-	cursor := make(map[int]int64, len(lp.newRegions))
-	for _, reg := range lp.newRegions {
-		cursor[reg.class] = reg.payStart
-	}
-	assign := func(o *object) {
-		pos := cursor[o.class]
-		slots[o.id] = pos
-		cursor[o.class] = pos + o.size
-	}
+// assignSlots writes every flushed object's post-flush position into its
+// slot field: per class, payload survivors first (in their current
+// relative order), then buffered objects, then the pending Section 2
+// trigger object (which is not yet physically placed and gets the
+// reserved end of its class payload).
+func (lp *layoutPlan) assignSlots(payload, buffered []*object, trigger *object) {
 	for _, o := range payload {
-		assign(o)
+		reg := lp.regionOf(o.class)
+		o.slot = reg.cursor
+		reg.cursor += o.size
 	}
 	for _, o := range buffered {
 		if trigger != nil && o.id == trigger.id {
 			continue // placed last within its class below
 		}
-		assign(o)
+		reg := lp.regionOf(o.class)
+		o.slot = reg.cursor
+		reg.cursor += o.size
 	}
 	if trigger != nil {
-		// Reserve the very end of the trigger's class payload.
 		reg := lp.regionOf(trigger.class)
-		slots[trigger.id] = reg.payStart + reg.paySize - trigger.size
+		trigger.slot = reg.payStart + reg.paySize - trigger.size
 	}
-	return slots
+}
+
+// buildFinalOrder returns the plan refs (payload index i for payload[i],
+// len(payload)+i for buffered[i]) ordered by final position: region by
+// region ascending, payload survivors before buffered arrivals, each in
+// their list order — exactly the order assignSlots advances its cursors.
+// One counting pass per list keeps it O(m + log-many classes) and
+// allocation-free in steady state.
+func (r *Reallocator) buildFinalOrder(lp *layoutPlan, payload, buffered []*object) []int32 {
+	k := len(lp.newRegions)
+	counts := r.countBuf[:0]
+	for i := 0; i < k; i++ {
+		counts = append(counts, 0)
+	}
+	r.countBuf = counts
+	for _, o := range payload {
+		counts[lp.regionIdx(o.class)]++
+	}
+	for _, o := range buffered {
+		counts[lp.regionIdx(o.class)]++
+	}
+	total := 0
+	for i, c := range counts {
+		counts[i] = total
+		total += c
+	}
+	out := r.orderBuf[:0]
+	if cap(out) < total {
+		out = make([]int32, total)
+	} else {
+		out = out[:total]
+	}
+	for i, o := range payload {
+		idx := lp.regionIdx(o.class)
+		out[counts[idx]] = int32(i)
+		counts[idx]++
+	}
+	for i, o := range buffered {
+		idx := lp.regionIdx(o.class)
+		out[counts[idx]] = int32(len(payload) + i)
+		counts[idx]++
+	}
+	r.orderBuf = out
+	return out
+}
+
+// regionIdx returns the newRegions index of the first region with class
+// >= c.
+func (lp *layoutPlan) regionIdx(c int) int {
+	lo, hi := 0, len(lp.newRegions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lp.newRegions[mid].class < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // regionOf returns the new region for class c (must exist).
 func (lp *layoutPlan) regionOf(c int) *region {
-	for _, reg := range lp.newRegions {
-		if reg.class == c {
-			return reg
-		}
+	if i := lp.regionIdx(c); i < len(lp.newRegions) && lp.newRegions[i].class == c {
+		return lp.newRegions[i]
 	}
 	panic("core: layout missing region for flushed class")
 }
 
 // install replaces the flushed suffix bookkeeping with the new geometry
-// and resets the tail buffer. Physical object positions are the flush
+// and resets the tail buffer. The replaced region records join the pool
+// for the next computeLayout. Physical object positions are the flush
 // executor's responsibility.
 func (r *Reallocator) install(lp layoutPlan) {
+	r.regionPool = append(r.regionPool, r.regions[lp.flushIdx:]...)
 	r.regions = append(r.regions[:lp.flushIdx], lp.newRegions...)
-	if r.tailBuf != nil {
-		r.tailBuf = &tail{start: lp.newEnd, cap: lp.newTailCap}
+	if t := r.tailBuf; t != nil {
+		t.start = lp.newEnd
+		t.cap = lp.newTailCap
+		t.fill = 0
+		t.items = t.items[:0]
 	}
 	r.dirty = false
 }

@@ -36,16 +36,17 @@ func (e Extent) End() int64 { return e.Start + e.Size }
 type Option func(*config)
 
 type config struct {
-	epsilon   float64
-	epsPrime  float64
-	variant   Variant
-	observer  func(Event)
-	metrics   bool
-	paranoid  bool
-	locking   bool
-	shards    int
-	shardsSet bool
-	rebalance *RebalancePolicy
+	epsilon     float64
+	epsPrime    float64
+	variant     Variant
+	observer    func(Event)
+	metrics     bool
+	paranoid    bool
+	serialFlush bool
+	locking     bool
+	shards      int
+	shardsSet   bool
+	rebalance   *RebalancePolicy
 }
 
 // validateEpsilon enforces the public contract at the constructor
@@ -74,9 +75,17 @@ func WithObserver(fn func(Event)) Option { return func(c *config) { c.observer =
 func WithMetrics() Option { return func(c *config) { c.metrics = true } }
 
 // WithInvariantChecks re-validates all structural invariants after every
-// request, turning violations into errors. Intended for tests; it is
-// O(n) per request.
+// request, turning violations into errors, and cross-checks every batched
+// flush application against a full substrate verification. Intended for
+// tests; it is O(n) per request.
 func WithInvariantChecks() Option { return func(c *config) { c.paranoid = true } }
+
+// WithSerialFlush executes flush move schedules through the per-move
+// reference path instead of the batched executor. Both paths produce
+// identical event streams, layouts, and stats — the differential tests
+// assert it — so this option exists only for cross-validation and
+// debugging; the batched executor is strictly faster.
+func WithSerialFlush() Option { return func(c *config) { c.serialFlush = true } }
 
 // WithLocking serializes all methods with a mutex, making the Reallocator
 // safe for concurrent use. (The algorithm itself is inherently sequential
@@ -158,11 +167,12 @@ func New(opts ...Option) (*Reallocator, error) {
 	}
 	rec, m := newRecorder(&cfg, 0)
 	inner, err := core.New(core.Config{
-		Epsilon:  cfg.epsilon,
-		EpsPrime: cfg.epsPrime,
-		Variant:  core.Variant(cfg.variant),
-		Recorder: rec,
-		Paranoid: cfg.paranoid,
+		Epsilon:     cfg.epsilon,
+		EpsPrime:    cfg.epsPrime,
+		Variant:     core.Variant(cfg.variant),
+		Recorder:    rec,
+		Paranoid:    cfg.paranoid,
+		SerialFlush: cfg.serialFlush,
 	})
 	if err != nil {
 		return nil, err

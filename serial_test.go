@@ -1,0 +1,136 @@
+package realloc_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"realloc"
+)
+
+// driveFrontEnd runs a deterministic churn through a reallocator built by
+// mk, collecting the observer event stream and the final layout.
+func driveFrontEnd(t *testing.T, mk func(obs func(realloc.Event)) interface {
+	Insert(int64, int64) error
+	Delete(int64) error
+}) ([]realloc.Event, map[int64]realloc.Extent) {
+	t.Helper()
+	var events []realloc.Event
+	target := mk(func(e realloc.Event) { events = append(events, e) })
+	rng := rand.New(rand.NewPCG(11, 0x5e71a1))
+	type live struct{ id, size int64 }
+	var pop []live
+	next := int64(1)
+	for op := 0; op < 2500; op++ {
+		if len(pop) == 0 || rng.IntN(5) < 3 {
+			size := int64(1 + rng.IntN(200))
+			if err := target.Insert(next, size); err != nil {
+				t.Fatal(err)
+			}
+			pop = append(pop, live{next, size})
+			next++
+		} else {
+			i := rng.IntN(len(pop))
+			o := pop[i]
+			pop[i] = pop[len(pop)-1]
+			pop = pop[:len(pop)-1]
+			if err := target.Delete(o.id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	layout := make(map[int64]realloc.Extent)
+	type extenter interface {
+		Extent(int64) (realloc.Extent, bool)
+	}
+	for _, o := range pop {
+		ext, ok := target.(extenter).Extent(o.id)
+		if !ok {
+			t.Fatalf("live object %d has no extent", o.id)
+		}
+		layout[o.id] = ext
+	}
+	return events, layout
+}
+
+// TestSerialFlushFrontEndEquivalence drives identical workloads through
+// the batched (default) and WithSerialFlush executors at the public layer
+// — plain and sharded — and asserts observers see identical event streams
+// and objects land at identical addresses.
+func TestSerialFlushFrontEndEquivalence(t *testing.T) {
+	for _, variant := range []realloc.Variant{realloc.Amortized, realloc.Checkpointed, realloc.Deamortized} {
+		base := []realloc.Option{realloc.WithVariant(variant), realloc.WithEpsilon(0.25), realloc.WithInvariantChecks()}
+		mk := func(extra ...realloc.Option) func(obs func(realloc.Event)) interface {
+			Insert(int64, int64) error
+			Delete(int64) error
+		} {
+			return func(obs func(realloc.Event)) interface {
+				Insert(int64, int64) error
+				Delete(int64) error
+			} {
+				opts := append(append([]realloc.Option{}, base...), extra...)
+				opts = append(opts, realloc.WithObserver(obs))
+				r, err := realloc.New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+		}
+		be, bl := driveFrontEnd(t, mk())
+		se, sl := driveFrontEnd(t, mk(realloc.WithSerialFlush()))
+		if len(be) != len(se) {
+			t.Fatalf("%v: %d batched events vs %d serial", variant, len(be), len(se))
+		}
+		for i := range be {
+			if be[i] != se[i] {
+				t.Fatalf("%v: event %d differs:\n batched %+v\n serial  %+v", variant, i, be[i], se[i])
+			}
+		}
+		if len(bl) != len(sl) {
+			t.Fatalf("%v: layout sizes differ", variant)
+		}
+		for id, ext := range bl {
+			if sl[id] != ext {
+				t.Fatalf("%v: object %d at %+v batched, %+v serial", variant, id, ext, sl[id])
+			}
+		}
+	}
+
+	// Sharded front-end: a single-goroutine drive is deterministic, so the
+	// shard-tagged streams must match event for event too.
+	mkSharded := func(extra ...realloc.Option) func(obs func(realloc.Event)) interface {
+		Insert(int64, int64) error
+		Delete(int64) error
+	} {
+		return func(obs func(realloc.Event)) interface {
+			Insert(int64, int64) error
+			Delete(int64) error
+		} {
+			opts := []realloc.Option{
+				realloc.WithShards(3), realloc.WithEpsilon(0.25),
+				realloc.WithInvariantChecks(), realloc.WithObserver(obs),
+			}
+			opts = append(opts, extra...)
+			s, err := realloc.NewSharded(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	be, bl := driveFrontEnd(t, mkSharded())
+	se, sl := driveFrontEnd(t, mkSharded(realloc.WithSerialFlush()))
+	if len(be) != len(se) {
+		t.Fatalf("sharded: %d batched events vs %d serial", len(be), len(se))
+	}
+	for i := range be {
+		if be[i] != se[i] {
+			t.Fatalf("sharded: event %d differs:\n batched %+v\n serial  %+v", i, be[i], se[i])
+		}
+	}
+	for id, ext := range bl {
+		if sl[id] != ext {
+			t.Fatalf("sharded: object %d at %+v batched, %+v serial", id, ext, sl[id])
+		}
+	}
+}

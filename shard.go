@@ -168,11 +168,12 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 	for i := range s.shards {
 		rec, m := newRecorder(&cfg, i)
 		inner, err := core.New(core.Config{
-			Epsilon:  cfg.epsilon,
-			EpsPrime: cfg.epsPrime,
-			Variant:  core.Variant(cfg.variant),
-			Recorder: rec,
-			Paranoid: cfg.paranoid,
+			Epsilon:     cfg.epsilon,
+			EpsPrime:    cfg.epsPrime,
+			Variant:     core.Variant(cfg.variant),
+			Recorder:    rec,
+			Paranoid:    cfg.paranoid,
+			SerialFlush: cfg.serialFlush,
 		})
 		if err != nil {
 			return nil, err
