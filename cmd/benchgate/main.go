@@ -1,0 +1,153 @@
+// Command benchgate is the CI benchmark-regression gate. It parses `go
+// test -bench` output (a file or stdin), checks the churn-scaling ratios
+// against per-variant limits, and writes a BENCH_ci_churn.json trajectory
+// record (schema: internal/benchfmt) so every CI run leaves a comparable
+// artifact instead of a log line that disappears with the job.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkChurnScaling -benchtime 20000x . | \
+//	    benchgate [-in -] [-out BENCH_ci_churn.json]
+//	    [-bench BenchmarkChurnScaling] [-small 100000] [-big 1000000]
+//	    [-gates amortized=4,checkpointed=4,deamortized=3]
+//
+// The gate fails (exit 1) when a variant's per-op time at the big size
+// exceeds limit × its time at the small size, or when expected results
+// are missing — a silent benchmark rename must not pass the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"realloc/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		in    = flag.String("in", "-", "bench output to read (- for stdin)")
+		out   = flag.String("out", "BENCH_ci_churn.json", "trajectory record to write (empty to skip)")
+		bench = flag.String("bench", "BenchmarkChurnScaling", "benchmark family to gate")
+		small = flag.Int64("small", 100_000, "small live-cell size")
+		big   = flag.Int64("big", 1_000_000, "big live-cell size")
+		gates = flag.String("gates", "amortized=4,checkpointed=4,deamortized=3",
+			"comma-separated variant=maxRatio limits")
+	)
+	flag.Parse()
+
+	limits, order, err := parseGates(*gates)
+	if err != nil {
+		return fail(err)
+	}
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := benchfmt.ParseBench(src)
+	if err != nil {
+		return fail(err)
+	}
+
+	findings := map[string]float64{}
+	bad := false
+	for _, variant := range order {
+		limit := limits[variant]
+		smallNs, err1 := benchfmt.NsPerOp(results, fmt.Sprintf("%s/%s/cells=%d", *bench, variant, *small))
+		bigNs, err2 := benchfmt.NsPerOp(results, fmt.Sprintf("%s/%s/cells=%d", *bench, variant, *big))
+		if err1 != nil || err2 != nil || smallNs <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: missing benchmark data for %s (%v, %v)\n", variant, err1, err2)
+			bad = true
+			continue
+		}
+		ratio := bigNs / smallNs
+		findings[variant+"_ns_per_op_small"] = smallNs
+		findings[variant+"_ns_per_op_big"] = bigNs
+		findings[variant+"_ratio"] = ratio
+		findings[variant+"_ratio_limit"] = limit
+		status := "ok"
+		if ratio > limit {
+			status = fmt.Sprintf("FAIL (limit %g)", limit)
+			bad = true
+		}
+		fmt.Printf("%s: %de5-cells=%.0fns/op %de5-cells=%.0fns/op ratio=%.2f %s\n",
+			variant, *small/100_000, smallNs, *big/100_000, bigNs, ratio, status)
+	}
+
+	if *out != "" {
+		manifest := benchfmt.CurrentManifest()
+		rec := benchfmt.Record{
+			ID:        "ci_churn",
+			Title:     "CI churn-scaling gate",
+			Claim:     fmt.Sprintf("per-op churn cost stays near-flat from %d to %d live cells", *small, *big),
+			Timestamp: time.Now().UTC(),
+			GoVersion: manifest.GoVersion,
+			Findings:  findings,
+			Manifest:  manifest,
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fail(err)
+			}
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %s\n", *out)
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "benchgate: ratio regression (or missing data) — see above")
+		return 1
+	}
+	return 0
+}
+
+// parseGates parses "a=4,b=3" into limits, preserving order for output.
+func parseGates(spec string) (map[string]float64, []string, error) {
+	limits := map[string]float64{}
+	var order []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("benchgate: bad gate %q (want variant=limit)", part)
+		}
+		limit, err := strconv.ParseFloat(val, 64)
+		if err != nil || limit <= 0 {
+			return nil, nil, fmt.Errorf("benchgate: bad gate limit %q", part)
+		}
+		limits[name] = limit
+		order = append(order, name)
+	}
+	if len(order) == 0 {
+		return nil, nil, fmt.Errorf("benchgate: no gates given")
+	}
+	return limits, order, nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	return 1
+}

@@ -23,22 +23,9 @@ import (
 	"strings"
 	"time"
 
+	"realloc/internal/benchfmt"
 	"realloc/internal/exp"
 )
-
-// benchRecord is the schema of a BENCH_<id>.json file.
-type benchRecord struct {
-	ID        string             `json:"id"`
-	Title     string             `json:"title"`
-	Claim     string             `json:"claim"`
-	Seed      uint64             `json:"seed"`
-	Ops       int                `json:"ops,omitempty"`
-	Quick     bool               `json:"quick"`
-	Timestamp time.Time          `json:"timestamp"`
-	GoVersion string             `json:"go_version"`
-	Seconds   float64            `json:"seconds"`
-	Findings  map[string]float64 `json:"findings"`
-}
 
 func main() {
 	os.Exit(run())
@@ -107,6 +94,10 @@ func run() int {
 		}
 		targets = []exp.Experiment{e}
 	}
+	// One manifest per process: every BENCH_<id>.json of this run carries
+	// the same git SHA, Go version, and GOMAXPROCS, so trajectory files
+	// from different PRs are comparable (and same-run files group).
+	manifest := benchfmt.CurrentManifest()
 	for _, e := range targets {
 		start := time.Now()
 		res, err := e.Run(cfg)
@@ -117,12 +108,13 @@ func run() int {
 		if !*jsonOut {
 			continue
 		}
-		rec := benchRecord{
+		rec := benchfmt.Record{
 			ID: e.ID, Title: e.Title, Claim: e.Claim,
 			Seed: *seed, Ops: *ops, Quick: *quick,
-			Timestamp: start.UTC(), GoVersion: runtime.Version(),
+			Timestamp: start.UTC(), GoVersion: manifest.GoVersion,
 			Seconds:  time.Since(start).Seconds(),
 			Findings: res.Findings,
+			Manifest: manifest,
 		}
 		buf, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {

@@ -88,24 +88,35 @@
 //
 // # Performance
 //
-// Flushes — the hot path that relocates nearly every object of a suffix
-// of the structure — execute as one batched move plan: the schedule is
-// validated once, applied through dense per-object scratch, and the
-// address-ordered index (a two-level blocked structure) rebuilds only its
-// touched suffix in a single merge pass, O(n + m log m) bookkeeping for a
-// flush of m objects instead of the O(m·n) a per-move sorted-index update
-// pays. Steady-state requests and flushes are allocation-free: object
-// records, regions, move plans, and executor scratch are pooled.
+// Atomic flushes — the hot path that relocates nearly every object of a
+// suffix of the structure — execute as one batched move plan: the
+// schedule is validated once, applied through dense per-object scratch,
+// and the address-ordered index (a two-level blocked structure) rebuilds
+// only its touched suffix in a single merge pass, O(n + m log m)
+// bookkeeping for a flush of m objects instead of the O(m·n) a per-move
+// sorted-index update pays. A deamortized flush spreads one schedule
+// across many requests as quota-bounded chunks; it runs through a
+// resumable executor session that validates the plan once and reconciles
+// the index incrementally per chunk — a chunk of k moves pays
+// O(k + B + log n) index work with no observer attached, and
+// O(k·(log n + B)) when per-move footprints must be reported to one —
+// in either case independent of how large the structure is. The
+// freed-since-checkpoint interval set is blocked the same way, bounding
+// the per-free cost under delete-heavy Durable churn. Steady-state
+// requests and flushes are allocation-free: object records, regions, move
+// plans, and executor scratch are pooled.
 //
 // Per-operation cost for n live objects and a flush suffix of m objects
 // (B is the constant index block size): a buffered insert or delete is
 // O(log n + B); a flush is O(n + m log m) bookkeeping amortized over the
 // Θ(ε·V) volume of requests that filled the buffers; a deamortized
 // request advances an active flush by a volume-bounded chunk at
-// O(log n + B) per move. On one core at 10^6 live cells the batched
-// executor serves steady churn 3–5x faster than the per-move path for the
-// atomic variants (see BenchmarkChurnScaling and the README table), with
-// 0 allocs/op across the sweep.
+// O(k + B + log n) for its k moves (O(k·(log n + B)) with an observer). On one core at 10^6 live cells the
+// executors serve steady churn 3–5x faster than the per-move path for
+// every variant — the deamortized variant is within 1.5x of the amortized
+// one (see BenchmarkChurnScaling and the README table) — with 0 allocs/op
+// across the sweep. CI gates the 1e5→1e6 per-op ratio via cmd/benchgate
+// and persists a BENCH_ci_churn.json trajectory record per run.
 //
 // Observable behavior is unchanged: observers receive the identical
 // per-move event sequence — footprints, checkpoints, counters — that

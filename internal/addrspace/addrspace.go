@@ -97,7 +97,8 @@ type Space struct {
 
 	cells []ID // cell-level data residue, if TrackCells
 
-	batch *batchState // reusable ApplyMoves scratch, allocated on first use
+	batch   *batchState  // reusable move-plan scratch, allocated on first use
+	session *MoveSession // active resumable move session, if any
 
 	volume        int64 // total live volume
 	checkpoints   int64 // checkpoints taken
@@ -323,7 +324,7 @@ func (s *Space) WouldBlock(ext Extent) bool {
 // Checkpoint makes all freed space reusable again, modeling the system
 // writing the translation map durably (Section 3.1).
 func (s *Space) Checkpoint() {
-	s.freed = s.freed[:0]
+	s.freed.reset()
 	s.checkpoints++
 }
 

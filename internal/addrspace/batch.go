@@ -65,6 +65,15 @@ type batchState struct {
 	goneTops  []int64     // max-heap: pre-batch starts of moved objects
 	suffix    []placement // flattened index suffix from the cut point
 	merged    []placement
+
+	// Session chunk scratch (see MoveSession.Advance): per-ref chunk
+	// epochs and entry positions at chunk start, plus the deletion and
+	// insertion lists of the chunk-end index reconciliation.
+	chunkEpoch []int32
+	chunkFrom  []int64
+	chunkRefs  []int32
+	chunkDels  []int64
+	chunkIns   []placement
 }
 
 // endEntry is one newEnds element: a (possibly stale) object end.
@@ -82,6 +91,7 @@ func (s *Space) batchState(maxRef int) *batchState {
 		b.ids[ref] = 0
 		b.seen[ref] = false
 		b.everMoved[ref] = false
+		b.chunkEpoch[ref] = 0
 	}
 	b.touched = b.touched[:0]
 	if len(b.ids) < maxRef {
@@ -91,6 +101,8 @@ func (s *Space) batchState(maxRef int) *batchState {
 		b.size = slices.Grow(b.size[:0], maxRef)[:maxRef]
 		b.seen = slices.Grow(b.seen[:0], maxRef)[:maxRef]
 		b.everMoved = slices.Grow(b.everMoved[:0], maxRef)[:maxRef]
+		b.chunkEpoch = slices.Grow(b.chunkEpoch[:0], maxRef)[:maxRef]
+		b.chunkFrom = slices.Grow(b.chunkFrom[:0], maxRef)[:maxRef]
 	}
 	b.oldSteps = b.oldSteps[:0]
 	b.finals = b.finals[:0]
@@ -131,11 +143,35 @@ func (s *Space) batchState(maxRef int) *batchState {
 // hooks of a block translation layer snapshot correct addresses — but
 // index-derived queries (MaxEnd, ForEach, further mutations) are off
 // limits inside the callback: the index is rebuilt after the walk.
+//
+// Quota-bounded flush plans that span many requests should use BeginMoves
+// instead: a session validates once and advances chunk by chunk without
+// re-flattening the index suffix per chunk.
 func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, budget int64, emit func(MoveResult)) (consumed int, volume int64, err error) {
 	if len(plan) == 0 || budget <= 0 {
 		return 0, 0, nil
 	}
-	b := s.batchState(maxRef)
+	if s.session != nil {
+		return 0, 0, fmt.Errorf("addrspace: ApplyMoves while a move session is active")
+	}
+	b, consumed, cutPos, _, err := s.simulatePlan(plan, maxRef, finalOrder, budget)
+	if err != nil {
+		return 0, 0, err
+	}
+	volume = s.executeBulk(plan, b, consumed, cutPos, emit)
+	return consumed, volume, nil
+}
+
+// simulatePlan is the validation pass shared by ApplyMoves and BeginMoves:
+// it simulates the prefix of plan that a quota of budget volume consumes,
+// builds the net final layout (b.finals) and the merged index suffix
+// (b.merged) from the cut position on, and validates the whole result —
+// ref misuse, bad targets, strict-rule self-overlaps, and any overlap in
+// the final layout fail the call with the Space untouched. It returns the
+// populated scratch, the number of consumed plan entries, the index cut
+// position, and the volume the consumed prefix applies.
+func (s *Space) simulatePlan(plan []Relocation, maxRef int, finalOrder []int32, budget int64) (b *batchState, consumed int, cutPos pos, volume int64, err error) {
+	b = s.batchState(maxRef)
 
 	// Pass 1: simulate and validate the consumed prefix.
 	var vol int64
@@ -144,12 +180,12 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 			break
 		}
 		if mv.Ref < 0 || int(mv.Ref) >= maxRef {
-			return 0, 0, fmt.Errorf("addrspace: relocation ref %d out of range [0,%d)", mv.Ref, maxRef)
+			return nil, 0, pos{}, 0, fmt.Errorf("addrspace: relocation ref %d out of range [0,%d)", mv.Ref, maxRef)
 		}
 		if b.ids[mv.Ref] == 0 {
 			ext, ok := s.objects[mv.ID]
 			if !ok {
-				return 0, 0, fmt.Errorf("%w: %d", ErrUnknownObject, mv.ID)
+				return nil, 0, pos{}, 0, fmt.Errorf("%w: %d", ErrUnknownObject, mv.ID)
 			}
 			b.ids[mv.Ref] = mv.ID
 			b.initStart[mv.Ref] = ext.Start
@@ -157,7 +193,7 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 			b.size[mv.Ref] = ext.Size
 			b.touched = append(b.touched, mv.Ref)
 		} else if b.ids[mv.Ref] != mv.ID {
-			return 0, 0, fmt.Errorf("addrspace: ref %d bound to object %d, reused for %d", mv.Ref, b.ids[mv.Ref], mv.ID)
+			return nil, 0, pos{}, 0, fmt.Errorf("addrspace: ref %d bound to object %d, reused for %d", mv.Ref, b.ids[mv.Ref], mv.ID)
 		}
 		old := Extent{Start: b.curStart[mv.Ref], Size: b.size[mv.Ref]}
 		b.oldSteps = append(b.oldSteps, old.Start)
@@ -166,10 +202,10 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 		}
 		target := Extent{Start: mv.To, Size: old.Size}
 		if target.Start < 0 {
-			return 0, 0, fmt.Errorf("%w: %v", ErrBadExtent, target)
+			return nil, 0, pos{}, 0, fmt.Errorf("%w: %v", ErrBadExtent, target)
 		}
 		if s.opts.StrictNonOverlap && target.Overlaps(old) {
-			return 0, 0, fmt.Errorf("%w: %v vs %v", ErrSelfOverlap, target, old)
+			return nil, 0, pos{}, 0, fmt.Errorf("%w: %v vs %v", ErrSelfOverlap, target, old)
 		}
 		b.curStart[mv.Ref] = target.Start
 		vol += target.Size
@@ -187,7 +223,7 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 				continue // not part of the consumed prefix
 			}
 			if b.seen[ref] {
-				return 0, 0, fmt.Errorf("addrspace: ref %d listed twice in final order", ref)
+				return nil, 0, pos{}, 0, fmt.Errorf("addrspace: ref %d listed twice in final order", ref)
 			}
 			b.seen[ref] = true
 			matched++
@@ -195,14 +231,14 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 				continue
 			}
 			if b.curStart[ref] < prevStart {
-				return 0, 0, fmt.Errorf("addrspace: final order not sorted at ref %d", ref)
+				return nil, 0, pos{}, 0, fmt.Errorf("addrspace: final order not sorted at ref %d", ref)
 			}
 			prevStart = b.curStart[ref]
 			b.finals = append(b.finals, placement{id: b.ids[ref], ext: Extent{Start: b.curStart[ref], Size: b.size[ref]}})
 			b.oldStarts = append(b.oldStarts, b.initStart[ref])
 		}
 		if matched != len(b.touched) {
-			return 0, 0, fmt.Errorf("addrspace: final order covers %d of %d plan objects", matched, len(b.touched))
+			return nil, 0, pos{}, 0, fmt.Errorf("addrspace: final order covers %d of %d plan objects", matched, len(b.touched))
 		}
 	} else {
 		for _, ref := range b.touched {
@@ -227,15 +263,15 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 		slices.Sort(b.oldStarts)
 	}
 
-	// Validate the resulting layout and rebuild the index in one merge
-	// pass. Flush plans only relocate within the flushed suffix (plus the
-	// overflow segment past it), so every index entry strictly left of the
-	// lowest touched address survives untouched: the index suffix from the
-	// cut point is flattened once, and its entries either keep their place
-	// (skipped via the sorted pre-batch starts — live starts are unique)
-	// or come from the sorted finals. A class-local flush therefore
+	// Validate the resulting layout and build the merged index suffix in
+	// one pass. Flush plans only relocate within the flushed suffix (plus
+	// the overflow segment past it), so every index entry strictly left of
+	// the lowest touched address survives untouched: the index suffix from
+	// the cut point is flattened once, and its entries either keep their
+	// place (skipped via the sorted pre-batch starts — live starts are
+	// unique) or come from the sorted finals. A class-local flush therefore
 	// rebuilds only its own region's slice of the index.
-	cutPos := s.byStart.end()
+	cutPos = s.byStart.end()
 	if len(b.finals) > 0 {
 		minAffected := b.finals[0].ext.Start
 		if b.oldStarts[0] < minAffected {
@@ -244,15 +280,10 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 		cutPos = s.byStart.lowerBound(minAffected)
 	}
 	b.suffix = s.byStart.flattenFrom(cutPos, b.suffix[:0])
-	// The last untouched entry has the largest end among them; only it can
-	// reach into the merged zone, and it is the footprint floor once every
-	// suffix entry has moved.
-	belowEnd := int64(0)
 	var prev placement
 	havePrev := false
 	if pp, ok := s.byStart.prev(cutPos); ok {
 		prev, havePrev = s.byStart.at(pp), true
-		belowEnd = prev.ext.End()
 	}
 	b.merged = b.merged[:0]
 	i, j, p := 0, 0, 0
@@ -277,22 +308,34 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 			j++
 		}
 		if havePrev && prev.ext.End() > next.ext.Start {
-			return 0, 0, fmt.Errorf("%w: plan lands %d at %v over %d at %v",
+			return nil, 0, pos{}, 0, fmt.Errorf("%w: plan lands %d at %v over %d at %v",
 				ErrOverlap, next.id, next.ext, prev.id, prev.ext)
 		}
 		b.merged = append(b.merged, next)
 		prev, havePrev = next, true
 	}
+	return b, consumed, cutPos, vol, nil
+}
 
-	// Pass 2: execute. Nothing below can fail, so counters, cell stamps,
-	// the object map, and the freed set evolve exactly as the per-move
-	// path would evolve them. The footprint after each relocation is the
-	// largest of three sources: the rightmost index entry whose object has
-	// not moved yet (index ends are sorted, so a right-to-left cursor
-	// suffices, stepped past moved entries via a heap of their pre-batch
-	// starts), and the max valid entry of a heap fed by every applied
-	// move. The object map is synced lazily: eagerly only when a
-	// checkpoint exposes positions to observers, in bulk otherwise.
+// executeBulk is pass 2 of a bulk batch: it applies plan[:consumed] using
+// the scratch simulatePlan populated, then commits the object map and
+// splices the pre-merged suffix into the index. Nothing in it can fail, so
+// counters, cell stamps, the object map, and the freed set evolve exactly
+// as the per-move path would evolve them. The footprint after each
+// relocation is the largest of three sources: the rightmost index entry
+// whose object has not moved yet (index ends are sorted, so a
+// right-to-left cursor suffices, stepped past moved entries via a heap of
+// their pre-batch starts), and the max valid entry of a heap fed by every
+// applied move. The object map is synced lazily: eagerly only when a
+// checkpoint exposes positions to observers, in bulk otherwise.
+func (s *Space) executeBulk(plan []Relocation, b *batchState, consumed int, cutPos pos, emit func(MoveResult)) (volume int64) {
+	// The last untouched entry has the largest end among them; only it can
+	// reach into the merged zone, and it is the footprint floor once every
+	// suffix entry has moved.
+	belowEnd := int64(0)
+	if pp, ok := s.byStart.prev(cutPos); ok {
+		belowEnd = s.byStart.at(pp).ext.End()
+	}
 	for _, ref := range b.touched {
 		b.curStart[ref] = b.initStart[ref]
 	}
@@ -375,7 +418,7 @@ func (s *Space) ApplyMoves(plan []Relocation, maxRef int, finalOrder []int32, bu
 		}
 	}
 	s.byStart.replaceSuffix(cutPos, b.merged)
-	return consumed, volume, nil
+	return volume
 }
 
 // syncObjects writes the positions of plan steps [from, upto) into the

@@ -5,9 +5,87 @@ import (
 	"sort"
 )
 
-// intervalSet is a sorted list of disjoint, non-adjacent extents. It tracks
-// the space freed since the last checkpoint.
-type intervalSet []Extent
+// intervalSet tracks the space freed since the last checkpoint: a
+// canonical sequence of disjoint, non-adjacent extents in address order.
+//
+// Like the placement index, it is a two-level blocked container (a
+// directory of bounded blocks whose concatenation is the canonical
+// sequence). A flat sorted slice pays an O(pieces) memmove per insertion,
+// which a delete-heavy Durable workload with tiny objects turns into the
+// dominant cost once the freed set holds ~10^5 fragments between
+// checkpoints; blocks cap the per-add memmove at O(intervalBlockCap)
+// plus directory probes, while an add that swallows k existing intervals
+// still retires them in one range splice. The total volume is maintained
+// incrementally so FreedVolume is O(1).
+type intervalSet struct {
+	blocks [][]Extent // each non-empty; concatenation canonical
+	vol    int64      // cached total volume
+	pool   [][]Extent // retired block storage for reuse
+}
+
+// intervalBlockCap is the target block size: blocks split at
+// 2*intervalBlockCap entries.
+const intervalBlockCap = 128
+
+// ipos addresses one interval: blocks[b][i].
+type ipos struct {
+	b, i int
+}
+
+// takeBlock returns an empty block with room for 2*intervalBlockCap
+// entries.
+func (s *intervalSet) takeBlock() []Extent {
+	if n := len(s.pool); n > 0 {
+		blk := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return blk[:0]
+	}
+	return make([]Extent, 0, 2*intervalBlockCap)
+}
+
+// reset empties the set (a checkpoint makes all freed space reusable),
+// keeping block storage for reuse.
+func (s *intervalSet) reset() {
+	for _, blk := range s.blocks {
+		s.pool = append(s.pool, blk)
+	}
+	s.blocks = s.blocks[:0]
+	s.vol = 0
+}
+
+// lowerMerge returns the position of the first interval whose end reaches
+// ext.Start — the leftmost possible merge partner (overlapping or
+// adjacent) — or ok=false if every interval ends strictly before it.
+func (s *intervalSet) lowerMerge(ext Extent) (ipos, bool) {
+	b := sort.Search(len(s.blocks), func(i int) bool {
+		blk := s.blocks[i]
+		return blk[len(blk)-1].End() >= ext.Start
+	})
+	if b == len(s.blocks) {
+		return ipos{}, false
+	}
+	blk := s.blocks[b]
+	i := sort.Search(len(blk), func(j int) bool { return blk[j].End() >= ext.Start })
+	return ipos{b: b, i: i}, true
+}
+
+// upperMerge returns the position of the first interval starting strictly
+// after ext.End() — one past the rightmost merge partner. The position may
+// be one past the last block.
+func (s *intervalSet) upperMerge(ext Extent) ipos {
+	b := sort.Search(len(s.blocks), func(i int) bool {
+		return s.blocks[i][0].Start > ext.End()
+	})
+	if b == 0 {
+		return ipos{}
+	}
+	blk := s.blocks[b-1]
+	i := sort.Search(len(blk), func(j int) bool { return blk[j].Start > ext.End() })
+	if i == len(blk) {
+		return ipos{b: b}
+	}
+	return ipos{b: b - 1, i: i}
+}
 
 // add inserts ext, merging with neighbors. Overlapping adds are tolerated
 // (the same cell can be freed, checkpoint-skipped, and freed again only via
@@ -16,59 +94,183 @@ func (s *intervalSet) add(ext Extent) {
 	if ext.Size <= 0 {
 		return
 	}
-	set := *s
-	// First interval whose end reaches ext.Start (possible merge partner).
-	lo := sort.Search(len(set), func(i int) bool { return set[i].End() >= ext.Start })
-	// First interval starting strictly after ext.End() (beyond any merge).
-	hi := sort.Search(len(set), func(i int) bool { return set[i].Start > ext.End() })
-	if lo == hi {
-		// No neighbors to merge: insert at lo.
-		set = append(set, Extent{})
-		copy(set[lo+1:], set[lo:])
-		set[lo] = ext
-		*s = set
+	lo, ok := s.lowerMerge(ext)
+	if !ok {
+		// Strictly after everything: append to the last block.
+		s.vol += ext.Size
+		if len(s.blocks) == 0 {
+			s.blocks = append(s.blocks, append(s.takeBlock(), ext))
+			return
+		}
+		last := len(s.blocks) - 1
+		s.blocks[last] = append(s.blocks[last], ext)
+		if len(s.blocks[last]) == cap(s.blocks[last]) {
+			s.splitBlock(last)
+		}
 		return
 	}
-	merged := ext
-	if set[lo].Start < merged.Start {
-		merged.Size += merged.Start - set[lo].Start
-		merged.Start = set[lo].Start
+	hi := s.upperMerge(ext)
+	if lo == hi {
+		// No merge partner: plain insertion at lo.
+		s.vol += ext.Size
+		blk := s.blocks[lo.b]
+		blk = append(blk, Extent{})
+		copy(blk[lo.i+1:], blk[lo.i:])
+		blk[lo.i] = ext
+		s.blocks[lo.b] = blk
+		if len(blk) == cap(blk) {
+			s.splitBlock(lo.b)
+		}
+		return
 	}
-	if e := set[hi-1].End(); e > merged.End() {
+	// Merge the range [lo, hi) with ext into one interval.
+	merged := ext
+	if first := s.blocks[lo.b][lo.i]; first.Start < merged.Start {
+		merged.Size += merged.Start - first.Start
+		merged.Start = first.Start
+	}
+	lastPos, _ := s.prevPos(hi)
+	if e := s.blocks[lastPos.b][lastPos.i].End(); e > merged.End() {
 		merged.Size += e - merged.End()
 	}
-	set[lo] = merged
-	set = append(set[:lo+1], set[hi:]...)
-	*s = set
+	var removed int64
+	if lo.b == hi.b {
+		// The whole merge range lives in one block: replace its first
+		// entry with the merged interval and close the gap in place.
+		blk := s.blocks[lo.b]
+		for _, e := range blk[lo.i:hi.i] {
+			removed += e.Size
+		}
+		blk[lo.i] = merged
+		s.blocks[lo.b] = append(blk[:lo.i+1], blk[hi.i:]...)
+		s.vol += merged.Size - removed
+		return
+	}
+	// Cross-block merge: the range covers block lo.b's whole tail, so
+	// after the splice the merged interval appends to it, ahead of the
+	// survivors of block hi.b.
+	removed = s.spliceOut(lo, hi)
+	s.vol += merged.Size - removed
+	s.blocks[lo.b] = append(s.blocks[lo.b], merged)
+	if len(s.blocks[lo.b]) == cap(s.blocks[lo.b]) {
+		s.splitBlock(lo.b)
+	}
+}
+
+// prevPos steps p back by one interval; ok is false at the beginning.
+func (s *intervalSet) prevPos(p ipos) (ipos, bool) {
+	if p.i > 0 {
+		return ipos{b: p.b, i: p.i - 1}, true
+	}
+	if p.b == 0 {
+		return ipos{}, false
+	}
+	return ipos{b: p.b - 1, i: len(s.blocks[p.b-1]) - 1}, true
+}
+
+// spliceOut removes the intervals in the cross-block range [lo, hi)
+// (lo.b < hi.b), returning their total volume. Block lo.b keeps its head
+// [0, lo.i); whole blocks in between retire to the pool; block hi.b, if
+// any, keeps its tail from hi.i on (trimmed in place). The caller refills
+// block lo.b, which may be left empty, immediately.
+func (s *intervalSet) spliceOut(lo, hi ipos) int64 {
+	var removed int64
+	for _, e := range s.blocks[lo.b][lo.i:] {
+		removed += e.Size
+	}
+	s.blocks[lo.b] = s.blocks[lo.b][:lo.i]
+	for b := lo.b + 1; b < hi.b; b++ {
+		for _, e := range s.blocks[b] {
+			removed += e.Size
+		}
+		s.pool = append(s.pool, s.blocks[b])
+	}
+	if hi.b < len(s.blocks) && hi.i > 0 {
+		blk := s.blocks[hi.b]
+		for _, e := range blk[:hi.i] {
+			removed += e.Size
+		}
+		copy(blk, blk[hi.i:])
+		s.blocks[hi.b] = blk[:len(blk)-hi.i]
+	}
+	// Close the directory gap left by the retired middle blocks.
+	n := copy(s.blocks[lo.b+1:], s.blocks[hi.b:])
+	s.blocks = s.blocks[:lo.b+1+n]
+	return removed
+}
+
+// splitBlock divides block b in two.
+func (s *intervalSet) splitBlock(b int) {
+	blk := s.blocks[b]
+	half := len(blk) / 2
+	right := append(s.takeBlock(), blk[half:]...)
+	s.blocks[b] = blk[:half]
+	s.blocks = append(s.blocks, nil)
+	copy(s.blocks[b+2:], s.blocks[b+1:])
+	s.blocks[b+1] = right
 }
 
 // intersects reports whether ext overlaps any interval in the set.
-func (s intervalSet) intersects(ext Extent) bool {
+func (s *intervalSet) intersects(ext Extent) bool {
 	if ext.Size <= 0 {
 		return false
 	}
-	i := sort.Search(len(s), func(i int) bool { return s[i].End() > ext.Start })
-	return i < len(s) && s[i].Start < ext.End()
+	b := sort.Search(len(s.blocks), func(i int) bool {
+		blk := s.blocks[i]
+		return blk[len(blk)-1].End() > ext.Start
+	})
+	if b == len(s.blocks) {
+		return false
+	}
+	blk := s.blocks[b]
+	i := sort.Search(len(blk), func(j int) bool { return blk[j].End() > ext.Start })
+	return blk[i].Start < ext.End()
 }
 
 // volume returns the total size of the set.
-func (s intervalSet) volume() int64 {
-	var v int64
-	for _, e := range s {
-		v += e.Size
+func (s *intervalSet) volume() int64 { return s.vol }
+
+// count returns the number of intervals.
+func (s *intervalSet) count() int {
+	n := 0
+	for _, blk := range s.blocks {
+		n += len(blk)
 	}
-	return v
+	return n
 }
 
-// verify checks canonical form: sorted, disjoint, non-empty intervals.
-func (s intervalSet) verify() error {
-	for i, e := range s {
-		if e.Size <= 0 {
-			return fmt.Errorf("addrspace: freed set has empty interval %v", e)
+// forEach visits the intervals in address order.
+func (s *intervalSet) forEach(fn func(Extent)) {
+	for _, blk := range s.blocks {
+		for _, e := range blk {
+			fn(e)
 		}
-		if i > 0 && s[i-1].End() > e.Start {
-			return fmt.Errorf("addrspace: freed set intervals %v and %v out of order/overlapping", s[i-1], e)
+	}
+}
+
+// verify checks canonical form: non-empty blocks, sorted, disjoint,
+// non-adjacent, non-empty intervals, and the cached volume.
+func (s *intervalSet) verify() error {
+	var vol int64
+	var prev Extent
+	havePrev := false
+	for bi, blk := range s.blocks {
+		if len(blk) == 0 {
+			return fmt.Errorf("addrspace: freed set block %d is empty", bi)
 		}
+		for _, e := range blk {
+			if e.Size <= 0 {
+				return fmt.Errorf("addrspace: freed set has empty interval %v", e)
+			}
+			if havePrev && prev.End() >= e.Start {
+				return fmt.Errorf("addrspace: freed set intervals %v and %v out of order/overlapping/adjacent", prev, e)
+			}
+			prev, havePrev = e, true
+			vol += e.Size
+		}
+	}
+	if vol != s.vol {
+		return fmt.Errorf("addrspace: freed set volume: cached %d, actual %d", s.vol, vol)
 	}
 	return nil
 }

@@ -1,40 +1,105 @@
 package addrspace
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 )
+
+// flatIntervalSet is the pre-blocking implementation of the freed set — a
+// flat sorted slice with O(pieces) insertion — kept verbatim as the test
+// oracle for the blocked container.
+type flatIntervalSet []Extent
+
+func (s *flatIntervalSet) add(ext Extent) {
+	if ext.Size <= 0 {
+		return
+	}
+	set := *s
+	lo := sort.Search(len(set), func(i int) bool { return set[i].End() >= ext.Start })
+	hi := sort.Search(len(set), func(i int) bool { return set[i].Start > ext.End() })
+	if lo == hi {
+		set = append(set, Extent{})
+		copy(set[lo+1:], set[lo:])
+		set[lo] = ext
+		*s = set
+		return
+	}
+	merged := ext
+	if set[lo].Start < merged.Start {
+		merged.Size += merged.Start - set[lo].Start
+		merged.Start = set[lo].Start
+	}
+	if e := set[hi-1].End(); e > merged.End() {
+		merged.Size += e - merged.End()
+	}
+	set[lo] = merged
+	set = append(set[:lo+1], set[hi:]...)
+	*s = set
+}
+
+func (s flatIntervalSet) intersects(ext Extent) bool {
+	if ext.Size <= 0 {
+		return false
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].End() > ext.Start })
+	return i < len(s) && s[i].Start < ext.End()
+}
+
+func (s flatIntervalSet) volume() int64 {
+	var v int64
+	for _, e := range s {
+		v += e.Size
+	}
+	return v
+}
+
+// flatten returns the blocked set's intervals in order.
+func flatten(s *intervalSet) []Extent {
+	var out []Extent
+	s.forEach(func(e Extent) { out = append(out, e) })
+	return out
+}
 
 func TestIntervalSetAddMerge(t *testing.T) {
 	var s intervalSet
 	s.add(Extent{10, 5})
 	s.add(Extent{20, 5})
-	if len(s) != 2 {
-		t.Fatalf("want 2 intervals, got %v", s)
+	if s.count() != 2 {
+		t.Fatalf("want 2 intervals, got %v", flatten(&s))
 	}
 	s.add(Extent{15, 5}) // bridges the gap
-	if len(s) != 1 || s[0] != (Extent{10, 15}) {
-		t.Fatalf("merge failed: %v", s)
+	if got := flatten(&s); len(got) != 1 || got[0] != (Extent{10, 15}) {
+		t.Fatalf("merge failed: %v", got)
 	}
 	s.add(Extent{5, 5}) // adjacent on the left
-	if len(s) != 1 || s[0] != (Extent{5, 20}) {
-		t.Fatalf("left merge failed: %v", s)
+	if got := flatten(&s); len(got) != 1 || got[0] != (Extent{5, 20}) {
+		t.Fatalf("left merge failed: %v", got)
 	}
 	s.add(Extent{0, 2})
-	if len(s) != 2 {
-		t.Fatalf("non-adjacent add: %v", s)
+	if s.count() != 2 {
+		t.Fatalf("non-adjacent add: %v", flatten(&s))
 	}
 	s.add(Extent{0, 100}) // swallows everything
-	if len(s) != 1 || s[0] != (Extent{0, 100}) {
-		t.Fatalf("swallow failed: %v", s)
+	if got := flatten(&s); len(got) != 1 || got[0] != (Extent{0, 100}) {
+		t.Fatalf("swallow failed: %v", got)
 	}
 	s.add(Extent{50, 0}) // empty adds are ignored
-	if len(s) != 1 {
-		t.Fatalf("empty add changed the set: %v", s)
+	if s.count() != 1 {
+		t.Fatalf("empty add changed the set: %v", flatten(&s))
 	}
 	if err := s.verify(); err != nil {
 		t.Fatal(err)
+	}
+	s.reset()
+	if s.count() != 0 || s.volume() != 0 {
+		t.Fatalf("reset left %d intervals, volume %d", s.count(), s.volume())
+	}
+	s.add(Extent{7, 3})
+	if got := flatten(&s); len(got) != 1 || got[0] != (Extent{7, 3}) {
+		t.Fatalf("add after reset: %v", got)
 	}
 }
 
@@ -56,7 +121,7 @@ func TestIntervalSetIntersects(t *testing.T) {
 	}
 	for _, c := range cases {
 		if got := s.intersects(c.e); got != c.want {
-			t.Errorf("intersects(%v) = %v, want %v (set %v)", c.e, got, c.want, s)
+			t.Errorf("intersects(%v) = %v, want %v (set %v)", c.e, got, c.want, flatten(&s))
 		}
 	}
 }
@@ -101,5 +166,132 @@ func TestIntervalSetQuick(t *testing.T) {
 	}, &quick.Config{MaxCount: 30})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIntervalSetVsFlatOracle drives the blocked container and the flat
+// reference through identical random histories — fragment counts past 1e5
+// so every structural path (splits, cross-block merges, directory splices,
+// resets) runs many times — and asserts identical canonical sequences,
+// volumes, and intersection answers throughout.
+func TestIntervalSetVsFlatOracle(t *testing.T) {
+	frags := 100_000 + 5_000
+	if testing.Short() {
+		frags = 20_000
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x1e5))
+		var blocked intervalSet
+		var flat flatIntervalSet
+		// Phase 1: build ~frags disjoint fragments (stride leaves gaps), in
+		// shuffled order so inserts hit every directory position.
+		span := int64(frags) * 3
+		for i := 0; i < frags; i++ {
+			ext := Extent{Start: rng.Int64N(span) * 3, Size: 1 + rng.Int64N(2)}
+			blocked.add(ext)
+			flat.add(ext)
+		}
+		if got, want := blocked.count(), len(flat); got != want {
+			t.Fatalf("seed %d: %d intervals vs oracle %d", seed, got, want)
+		}
+		if err := blocked.verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Phase 2: churn with a mix of tiny adds, swallowing adds, and
+		// probes; compare sequences periodically (full compare is O(n)).
+		for i := 0; i < 2_000; i++ {
+			var ext Extent
+			switch rng.IntN(10) {
+			case 0: // large add swallowing many fragments
+				ext = Extent{Start: rng.Int64N(span * 3), Size: 1 + rng.Int64N(span/4)}
+			default:
+				ext = Extent{Start: rng.Int64N(span * 3), Size: 1 + rng.Int64N(40)}
+			}
+			blocked.add(ext)
+			flat.add(ext)
+			if blocked.volume() != flat.volume() {
+				t.Fatalf("seed %d add %d: volume %d vs oracle %d", seed, i, blocked.volume(), flat.volume())
+			}
+			probe := Extent{Start: rng.Int64N(span * 3), Size: 1 + rng.Int64N(64)}
+			if got, want := blocked.intersects(probe), flat.intersects(probe); got != want {
+				t.Fatalf("seed %d add %d: intersects(%v) = %v, oracle %v", seed, i, probe, got, want)
+			}
+			if i%500 == 499 {
+				if err := blocked.verify(); err != nil {
+					t.Fatalf("seed %d add %d: %v", seed, i, err)
+				}
+				got := flatten(&blocked)
+				if len(got) != len(flat) {
+					t.Fatalf("seed %d add %d: %d intervals vs oracle %d", seed, i, len(got), len(flat))
+				}
+				for j := range got {
+					if got[j] != flat[j] {
+						t.Fatalf("seed %d add %d: interval %d is %v, oracle %v", seed, i, j, got[j], flat[j])
+					}
+				}
+			}
+		}
+		// Reset (checkpoint) and make sure the recycled blocks behave.
+		blocked.reset()
+		flat = flat[:0]
+		for i := 0; i < 1_000; i++ {
+			ext := Extent{Start: rng.Int64N(5000), Size: 1 + rng.Int64N(30)}
+			blocked.add(ext)
+			flat.add(ext)
+		}
+		if err := blocked.verify(); err != nil {
+			t.Fatalf("seed %d post-reset: %v", seed, err)
+		}
+		got := flatten(&blocked)
+		if len(got) != len(flat) {
+			t.Fatalf("seed %d post-reset: %d intervals vs oracle %d", seed, len(got), len(flat))
+		}
+		for j := range got {
+			if got[j] != flat[j] {
+				t.Fatalf("seed %d post-reset: interval %d is %v, oracle %v", seed, j, got[j], flat[j])
+			}
+		}
+	}
+}
+
+// BenchmarkIntervalSetAdd measures add cost on a set holding frag live
+// fragments: the delete-heavy Durable hot spot the blocked container
+// exists for. Adds alternate fresh fragments and merges.
+func BenchmarkIntervalSetAdd(b *testing.B) {
+	for _, frags := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("frags=%d", frags), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(42, 0xadd))
+			var s intervalSet
+			span := int64(frags) * 4
+			for s.count() < frags {
+				s.add(Extent{Start: rng.Int64N(span) * 2, Size: 1})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.add(Extent{Start: rng.Int64N(span) * 2, Size: 1})
+				if s.count() >= 2*frags {
+					// Keep the fragment count near the target without
+					// timing a full rebuild: swallow half the span.
+					s.add(Extent{Start: 0, Size: span})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntervalSetIntersects measures the probe the checkpoint rule
+// runs before every write.
+func BenchmarkIntervalSetIntersects(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 0x15ec))
+	var s intervalSet
+	const frags = 100_000
+	for s.count() < frags {
+		s.add(Extent{Start: rng.Int64N(frags*4) * 2, Size: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.intersects(Extent{Start: rng.Int64N(frags * 8), Size: 16})
 	}
 }

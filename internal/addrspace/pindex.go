@@ -17,9 +17,11 @@ import (
 // entirely: it flattens the affected suffix, merges it with the move
 // plan's final layout, and splices the result back in (replaceSuffix).
 type pindex struct {
-	blocks [][]placement // each non-empty, sorted; concatenation sorted
-	count  int
-	pool   [][]placement // retired block storage for reuse
+	blocks  [][]placement // each non-empty, sorted; concatenation sorted
+	count   int
+	pool    [][]placement // retired block storage for reuse
+	scratch []placement   // insertRuns block-rebuild scratch
+	gen     uint64        // bumped on every content mutation (staleness checks)
 }
 
 // blockCap is the target block size: blocks split at 2*blockCap entries.
@@ -101,6 +103,7 @@ func (x *pindex) takeBlock() []placement {
 // occur.
 func (x *pindex) insert(p placement) {
 	x.count++
+	x.gen++
 	if len(x.blocks) == 0 {
 		blk := x.takeBlock()
 		x.blocks = append(x.blocks, append(blk, p))
@@ -139,6 +142,7 @@ func (x *pindex) split(b int) {
 // removeAt deletes the entry at p; empty blocks leave the directory.
 func (x *pindex) removeAt(p pos) {
 	x.count--
+	x.gen++
 	blk := x.blocks[p.b]
 	copy(blk[p.i:], blk[p.i+1:])
 	blk = blk[:len(blk)-1]
@@ -202,6 +206,7 @@ func (x *pindex) flattenFrom(p pos, dst []placement) []placement {
 // address range), reusing retired blocks. The flush executor calls this
 // once per batch instead of mutating entry by entry.
 func (x *pindex) replaceSuffix(p pos, ents []placement) {
+	x.gen++
 	removed := 0
 	if x.valid(p) {
 		blk := x.blocks[p.b]
@@ -226,6 +231,164 @@ func (x *pindex) replaceSuffix(p pos, ents []placement) {
 		}
 		x.blocks = append(x.blocks, append(x.takeBlock(), ents[off:end]...))
 	}
+}
+
+// removeStarts deletes the entries whose starts are listed in dels
+// (ascending, each present — a missing start is an index desync and
+// panics, like find). Each affected block compacts in one pass and empty
+// blocks leave the directory in one splice, so a chunk of k deletions
+// costs O(k + affected blocks · B + directory) instead of k tail
+// memmoves.
+func (x *pindex) removeStarts(dels []int64) {
+	if len(dels) == 0 {
+		return
+	}
+	x.gen++
+	x.count -= len(dels)
+	i := 0
+	b := sort.Search(len(x.blocks), func(j int) bool {
+		blk := x.blocks[j]
+		return blk[len(blk)-1].ext.Start >= dels[0]
+	})
+	firstHole := -1
+	for i < len(dels) {
+		if b >= len(x.blocks) {
+			panic(fmt.Sprintf("addrspace: index desync: entry with start %d not found", dels[i]))
+		}
+		blk := x.blocks[b]
+		if blk[len(blk)-1].ext.Start < dels[i] {
+			b++
+			continue
+		}
+		w := sort.Search(len(blk), func(j int) bool { return blk[j].ext.Start >= dels[i] })
+		r := w
+		for r < len(blk) && i < len(dels) {
+			if blk[r].ext.Start == dels[i] {
+				i++
+				r++
+				continue
+			}
+			if dels[i] < blk[r].ext.Start {
+				panic(fmt.Sprintf("addrspace: index desync: entry with start %d not found", dels[i]))
+			}
+			blk[w] = blk[r]
+			w++
+			r++
+		}
+		w += copy(blk[w:], blk[r:])
+		x.blocks[b] = blk[:w]
+		if w == 0 && firstHole < 0 {
+			firstHole = b
+		}
+		b++
+	}
+	if firstHole >= 0 {
+		out := firstHole
+		for b := firstHole; b < len(x.blocks); b++ {
+			if len(x.blocks[b]) == 0 {
+				x.pool = append(x.pool, x.blocks[b])
+				continue
+			}
+			x.blocks[out] = x.blocks[b]
+			out++
+		}
+		x.blocks = x.blocks[:out]
+	}
+}
+
+// insertRuns splices ins (sorted by start) into the index, validating
+// every entry against its final neighbors: any overlap or duplicate start
+// returns ErrOverlap. Each maximal run landing between two adjacent
+// existing entries splices as one block edit (or block rebuild), so a
+// chunk of k insertions clustered in r runs costs O(k + r·(B + log n))
+// instead of k searches and tail memmoves.
+func (x *pindex) insertRuns(ins []placement) error {
+	if len(ins) == 0 {
+		return nil
+	}
+	x.gen++
+	for j := 0; j < len(ins); {
+		if len(x.blocks) == 0 {
+			for q := j; q+1 < len(ins); q++ {
+				if ins[q].ext.End() > ins[q+1].ext.Start {
+					return fmt.Errorf("%w: chunk lands %d at %v over %d at %v",
+						ErrOverlap, ins[q+1].id, ins[q+1].ext, ins[q].id, ins[q].ext)
+				}
+			}
+			for off := j; off < len(ins); off += blockCap {
+				end := min(off+blockCap, len(ins))
+				x.blocks = append(x.blocks, append(x.takeBlock(), ins[off:end]...))
+				x.count += end - off
+			}
+			return nil
+		}
+		// Host block: the last one whose first entry is <= the run head
+		// (new minima go to block 0), as in insert.
+		b := sort.Search(len(x.blocks), func(k int) bool {
+			return x.blocks[k][0].ext.Start > ins[j].ext.Start
+		})
+		if b > 0 {
+			b--
+		}
+		blk := x.blocks[b]
+		i := sort.Search(len(blk), func(k int) bool { return blk[k].ext.Start >= ins[j].ext.Start })
+		var succ placement
+		haveSucc := false
+		if i < len(blk) {
+			succ, haveSucc = blk[i], true
+		} else if b+1 < len(x.blocks) {
+			succ, haveSucc = x.blocks[b+1][0], true
+		}
+		k := j + 1
+		for k < len(ins) && (!haveSucc || ins[k].ext.Start < succ.ext.Start) {
+			k++
+		}
+		run := ins[j:k]
+		if i > 0 {
+			if p := blk[i-1]; p.ext.End() > run[0].ext.Start {
+				return fmt.Errorf("%w: chunk lands %d at %v over %d at %v",
+					ErrOverlap, run[0].id, run[0].ext, p.id, p.ext)
+			}
+		}
+		for q := 0; q+1 < len(run); q++ {
+			if run[q].ext.End() > run[q+1].ext.Start {
+				return fmt.Errorf("%w: chunk lands %d at %v over %d at %v",
+					ErrOverlap, run[q+1].id, run[q+1].ext, run[q].id, run[q].ext)
+			}
+		}
+		if haveSucc && (run[0].ext.Start == succ.ext.Start || run[len(run)-1].ext.End() > succ.ext.Start) {
+			return fmt.Errorf("%w: chunk lands %d at %v over %d at %v",
+				ErrOverlap, run[len(run)-1].id, run[len(run)-1].ext, succ.id, succ.ext)
+		}
+		if len(blk)+len(run) <= cap(blk) {
+			blk = blk[:len(blk)+len(run)]
+			copy(blk[i+len(run):], blk[i:])
+			copy(blk[i:], run)
+			x.blocks[b] = blk
+			if len(blk) == cap(blk) {
+				x.split(b)
+			}
+		} else {
+			// The run outgrows the block: rebuild it as a sequence of
+			// blockCap-sized blocks spliced into the directory.
+			x.scratch = append(append(append(x.scratch[:0], blk[:i]...), run...), blk[i:]...)
+			x.pool = append(x.pool, blk)
+			nb := (len(x.scratch) + blockCap - 1) / blockCap
+			for t := 1; t < nb; t++ {
+				x.blocks = append(x.blocks, nil)
+			}
+			copy(x.blocks[b+nb:], x.blocks[b+1:])
+			off := 0
+			for t := 0; t < nb; t++ {
+				end := min(off+blockCap, len(x.scratch))
+				x.blocks[b+t] = append(x.takeBlock(), x.scratch[off:end]...)
+				off = end
+			}
+		}
+		x.count += len(run)
+		j = k
+	}
+	return nil
 }
 
 // verify checks the container invariants: non-empty blocks, global order,

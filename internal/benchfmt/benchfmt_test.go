@@ -1,0 +1,71 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: realloc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkChurnScaling/amortized/cells=100000         	   20000	      1719 ns/op	      11 B/op	       0 allocs/op
+BenchmarkChurnScaling/amortized/cells=1000000-8      	   20000	      2823 ns/op	       8 B/op	       0 allocs/op
+BenchmarkChurnScaling/deamortized/cells=1000000-16   	   20000	      4158.5 ns/op
+some unrelated line
+BenchmarkNot-A-Result garbage
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkChurnScaling/amortized/cells=100000" || r.Iters != 20000 ||
+		r.NsPerOp != 1719 || r.BytesPerOp != 11 || r.AllocsPerOp != 0 {
+		t.Fatalf("result 0: %+v", r)
+	}
+	// -8 / -16 GOMAXPROCS suffixes strip; dashes inside names survive.
+	if results[1].Name != "BenchmarkChurnScaling/amortized/cells=1000000" {
+		t.Fatalf("result 1 name: %q", results[1].Name)
+	}
+	if results[2].Name != "BenchmarkChurnScaling/deamortized/cells=1000000" {
+		t.Fatalf("result 2 name: %q", results[2].Name)
+	}
+	if results[2].BytesPerOp != -1 || results[2].AllocsPerOp != -1 {
+		t.Fatalf("result 2 should have no -benchmem columns: %+v", results[2])
+	}
+	if ns, err := NsPerOp(results, "BenchmarkChurnScaling/deamortized/cells=1000000"); err != nil || ns != 4158.5 {
+		t.Fatalf("NsPerOp: %v %v", ns, err)
+	}
+	if _, err := NsPerOp(results, "BenchmarkMissing"); err == nil {
+		t.Fatal("missing benchmark found")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":           "BenchmarkX",
+		"BenchmarkX":             "BenchmarkX",
+		"BenchmarkX-8a":          "BenchmarkX-8a",
+		"BenchmarkA/b=1-128":     "BenchmarkA/b=1",
+		"BenchmarkTrailingDash-": "BenchmarkTrailingDash-",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCurrentManifest(t *testing.T) {
+	m := CurrentManifest()
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" || m.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete manifest: %+v", m)
+	}
+}

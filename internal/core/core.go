@@ -190,7 +190,6 @@ type Reallocator struct {
 	// collections, the flushed class list, the next layout's region slice,
 	// and pools of retired region and object records.
 	planBuf    []addrspace.Relocation
-	cumBuf     []int64
 	orderBuf   []int32
 	countBuf   []int
 	payBuf     []*object
@@ -374,32 +373,33 @@ func (r *Reallocator) emitPlanMove(m addrspace.MoveResult) {
 	r.emitAt(trace.KMove, m.ID, m.Size, m.From, m.To, m.Footprint)
 }
 
-// batchThreshold is the hybrid-executor crossover: chunks expected to
-// apply at least this many moves go through the batched executor. The
-// batch rebuilds the touched index suffix in one merge, which a handful
-// of moves cannot amortize against its setup; anything bigger can.
-const batchThreshold = 8
-
-// applyPlan executes up to budget volume of a flush move plan and returns
-// the number of consumed plan entries and the volume they moved. est is
-// the expected number of consumed entries, which picks the executor; both
-// produce identical event streams, so the choice is pure policy.
-// Config.SerialFlush forces the per-move reference path. Paranoid mode
+// applyPlan executes up to budget volume of an atomic flush move plan in
+// one batch and returns the number of consumed plan entries and the
+// volume they moved. Config.SerialFlush forces the per-move reference
+// path; both produce identical event streams (the differential tests
+// assert it). Quota-bounded Section 3 plans do not come here — they
+// execute through the resumable session advanceQuota holds. Paranoid mode
 // re-verifies the substrate after every batch, cross-checking the merge
 // rebuild.
-func (r *Reallocator) applyPlan(moves []addrspace.Relocation, maxRef int, finalOrder []int32, budget int64, est int) (int, int64, error) {
-	if r.cfg.SerialFlush || est < batchThreshold {
+func (r *Reallocator) applyPlan(moves []addrspace.Relocation, maxRef int, finalOrder []int32, budget int64) (int, int64, error) {
+	if r.cfg.SerialFlush {
 		return r.applyPlanSerial(moves, budget)
 	}
-	var emit func(addrspace.MoveResult)
-	if !r.nullRec {
-		emit = r.emitPlanMove
-	}
-	n, vol, err := r.space.ApplyMoves(moves, maxRef, finalOrder, budget, emit)
+	n, vol, err := r.space.ApplyMoves(moves, maxRef, finalOrder, budget, r.planEmitter())
 	if err == nil && r.cfg.Paranoid {
 		err = r.space.Verify()
 	}
 	return n, vol, err
+}
+
+// planEmitter returns the batched-relocation observer relaying MoveResults
+// to the recorder, or nil for a discard-everything recorder (executors
+// then skip footprint reconstruction entirely).
+func (r *Reallocator) planEmitter() func(addrspace.MoveResult) {
+	if r.nullRec {
+		return nil
+	}
+	return r.emitPlanMove
 }
 
 // applyPlanSerial is applyPlan through per-move Move calls: one entry at a

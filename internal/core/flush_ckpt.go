@@ -8,14 +8,16 @@ import (
 // flushPlan is the fully computed move schedule of a Section 3 flush. The
 // atomic Checkpointed variant executes it in one request; the Deamortized
 // variant executes (4/ε')·w volume of it per subsequent request, each
-// request's share consumed as one volume-bounded chunk. cum[i] is the
-// total volume of moves[:i], so a quota translates into an expected chunk
-// length without walking the plan.
+// request's share consumed as one volume-bounded chunk. The schedule is
+// handed to a resumable substrate session (addrspace.BeginMoves) that
+// validated it in full at startFlush and advances it chunk by chunk with
+// incremental index splices; sess is nil only under Config.SerialFlush,
+// which drives the per-move reference path instead, and for empty
+// schedules.
 type flushPlan struct {
 	moves       []addrspace.Relocation
-	cum         []int64
 	maxRef      int
-	finalOrder  []int32
+	sess        *addrspace.MoveSession
 	next        int
 	movedVolume int64
 }
@@ -70,16 +72,14 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 
 	// Plan refs: payload[i] is ref i, buffered[i] is ref len(payload)+i.
 	moves := r.planBuf[:0]
-	cum := append(r.cumBuf[:0], 0)
-	push := func(id ID, to, size int64, ref int32) {
+	push := func(id ID, to int64, ref int32) {
 		moves = append(moves, addrspace.Relocation{ID: id, To: to, Ref: ref})
-		cum = append(cum, cum[len(cum)-1]+size)
 	}
 	bufRef := func(i int) int32 { return int32(len(payload) + i) }
 	// Step 1: evacuate buffered objects to [W, W+U).
 	off := W
 	for i, o := range buffered {
-		push(o.id, off, o.size, bufRef(i))
+		push(o.id, off, bufRef(i))
 		off += o.size
 	}
 	// Step 2: pack payload objects rightward ending at W (largest class
@@ -88,17 +88,31 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 	for i := len(payload) - 1; i >= 0; i-- {
 		o := payload[i]
 		cursor -= o.size
-		push(o.id, cursor, o.size, int32(i))
+		push(o.id, cursor, int32(i))
 	}
 	// Step 3: unpack leftward to final positions (smallest class first).
 	for i, o := range payload {
-		push(o.id, o.slot, o.size, int32(i))
+		push(o.id, o.slot, int32(i))
 	}
 	// Step 4: buffered objects down into their payload tails.
 	for i, o := range buffered {
-		push(o.id, o.slot, o.size, bufRef(i))
+		push(o.id, o.slot, bufRef(i))
 	}
-	r.planBuf, r.cumBuf = moves, cum
+	r.planBuf = moves
+
+	maxRef := len(payload) + len(buffered)
+	// The whole schedule is validated against the pre-flush layout here;
+	// the session then advances it in quota-bounded chunks that splice the
+	// index incrementally, so no chunk pays a suffix rebuild. SerialFlush
+	// keeps the per-move reference path for cross-checking.
+	var sess *addrspace.MoveSession
+	if !r.cfg.SerialFlush && len(moves) > 0 {
+		var err error
+		sess, err = r.space.BeginMoves(moves, maxRef, r.buildFinalOrder(&lp, payload, buffered))
+		if err != nil {
+			return err
+		}
+	}
 
 	// Bookkeeping switches to the post-flush geometry now; physical
 	// positions catch up as the plan executes. Every flushed object ends
@@ -111,10 +125,9 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 	}
 	r.install(lp)
 	r.plan = &flushPlan{
-		moves:      moves,
-		cum:        cum,
-		maxRef:     len(payload) + len(buffered),
-		finalOrder: r.buildFinalOrder(&lp, payload, buffered),
+		moves:  moves,
+		maxRef: maxRef,
+		sess:   sess,
 	}
 
 	// Updates arriving while the plan runs are placed in the log region,
@@ -136,22 +149,32 @@ func (r *Reallocator) advance(q int64) error {
 }
 
 // advanceQuota is advance returning the unused quota. The remaining plan
-// is consumed in volume-bounded batches: each call applies one chunk of at
+// is consumed in volume-bounded chunks: each call applies one chunk of at
 // most q volume (overshooting by at most one move, exactly like the
-// per-move quota loop it replaces).
+// per-move quota loop it replaces) through the plan's resumable session —
+// a chunk costs O(log n + B) index work per move regardless of how much
+// of the plan remains. An atomic drain (the Checkpointed variant, or a
+// Drain call before any chunk ran) takes the session's bulk merge path.
 func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 	for q > 0 && r.plan != nil {
 		p := r.plan
 		if p.next < len(p.moves) {
-			// A chunk that provably runs the plan to completion can hand
-			// the precomputed final ordering to the batch executor; a
-			// truncated one ends in an intermediate layout it must sort out
-			// itself.
-			var finalOrder []int32
-			if q >= p.cum[len(p.moves)]-p.cum[p.next] {
-				finalOrder = p.finalOrder
+			var (
+				n   int
+				vol int64
+				err error
+			)
+			if p.sess != nil {
+				n, vol, err = p.sess.Advance(q, r.planEmitter())
+				if err == nil && p.sess.Done() {
+					err = p.sess.Commit()
+				}
+				if err == nil && r.cfg.Paranoid {
+					err = r.space.Verify()
+				}
+			} else {
+				n, vol, err = r.applyPlanSerial(p.moves[p.next:], q)
 			}
-			n, vol, err := r.applyPlan(p.moves[p.next:], p.maxRef, finalOrder, q, p.chunkLen(q))
 			p.next += n
 			p.movedVolume += vol
 			q -= vol
@@ -184,28 +207,6 @@ func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 		q = 0
 	}
 	return q, nil
-}
-
-// chunkLen returns how many remaining plan entries a quota of q volume is
-// expected to consume: entries keep being consumed while the applied
-// volume is below q, overshooting by at most one move. No-op moves make
-// this an estimate; it only steers the executor choice.
-func (p *flushPlan) chunkLen(q int64) int {
-	rest := len(p.moves) - p.next
-	if q >= p.cum[len(p.moves)]-p.cum[p.next] {
-		return rest
-	}
-	base := p.cum[p.next]
-	lo, hi := 0, rest-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.cum[p.next+mid+1]-base < q {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo + 1
 }
 
 // finishFlush retires the completed plan and, if the tail buffer

@@ -62,7 +62,7 @@ func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
 
 	maxRef := len(payload) + len(buffered)
 	finalOrder := r.buildFinalOrder(&lp, payload, buffered)
-	_, flushedVol, err := r.applyPlan(plan, maxRef, finalOrder, quotaAll, len(plan))
+	_, flushedVol, err := r.applyPlan(plan, maxRef, finalOrder, quotaAll)
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,28 @@ package core
 
 import (
 	"math/rand/v2"
+	"os"
+	"strconv"
 	"testing"
 
 	"realloc/internal/trace"
 )
+
+// soakOps returns the per-variant request count: the default keeps the
+// per-PR run fast; the nightly CI job raises it through REALLOC_SOAK_OPS
+// (any positive integer) together with a longer -timeout.
+func soakOps(t *testing.T) int {
+	const def = 120000
+	v := os.Getenv("REALLOC_SOAK_OPS")
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("bad REALLOC_SOAK_OPS %q: %v", v, err)
+	}
+	return n
+}
 
 // TestSoak runs a long, heavy-tailed churn through every variant with
 // periodic full invariant checks and a final bound audit. Skipped under
@@ -22,7 +40,7 @@ func TestSoak(t *testing.T) {
 			rng := rand.New(rand.NewPCG(2026, uint64(variant)))
 			var live []ID
 			next := ID(1)
-			const ops = 120000
+			ops := soakOps(t)
 			for op := 0; op < ops; op++ {
 				grow := len(live) == 0 || rng.Float64() < 0.52
 				// Periodic regime shifts: bursts of deletes, bursts of
