@@ -340,6 +340,203 @@ func BenchmarkShardedSkew8(b *testing.B) {
 	b.Run("rebalance", func(b *testing.B) { benchShardedSkew(b, true) })
 }
 
+// benchShardedParallelMix drives a fixed-width sharded reallocator from
+// GOMAXPROCS goroutines, each owning a disjoint exp.MixStream (the same
+// driver experiment E15 runs, so the CI gate and the experiment harness
+// measure one workload): readPct% of the timed iterations are reads
+// (alternating Extent and Has on a random live id) and the rest churn
+// steps that hold each worker's live volume near its target. The shard
+// count is pinned at 8 so `-cpu 1,2,4,8` sweeps parallelism over an
+// identical structure; the cores→throughput curve is the scaling result
+// (see BENCH_ci_scaling).
+func benchShardedParallelMix(b *testing.B, readPct int) {
+	const shards = 8
+	const targetVol = 1 << 15
+	const maxSize = 16
+	s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	streams := make([]*exp.MixStream, workers)
+	for w := range streams {
+		streams[w] = exp.NewMixStream(uint64(w+1), w, targetVol, maxSize)
+		if err := streams[w].Seed(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) - 1
+		if i >= len(streams) {
+			b.Error("more parallel goroutines than GOMAXPROCS")
+			return
+		}
+		m := streams[i]
+		for pb.Next() {
+			if err := m.Step(s, readPct); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// benchShardedParallelZipf is the zipf-skewed variant: each worker
+// replays a private ZipfChurn stream (disjoint ids via FirstID, hash
+// homes concentrated by the zipf law), so the hot shard's lock is the
+// contended resource the scaling curve exposes.
+func benchShardedParallelZipf(b *testing.B) {
+	const shards = 8
+	const targetVol = 1 << 15
+	s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	gens := make([]*workload.ZipfChurn, workers)
+	for w := range gens {
+		gens[w] = &workload.ZipfChurn{
+			Seed:         uint64(w + 1),
+			Sizes:        workload.Uniform{Min: 1, Max: 16},
+			TargetVolume: targetVol,
+			Homes:        shards,
+			S:            1.2,
+			FirstID:      addrspace.ID(1 + int64(w+1)<<40),
+		}
+		// Warm each stream to its steady-state volume outside the timer.
+		for i := 0; i < targetVol/8*2+3000; i++ {
+			op, ok := gens[w].Next()
+			if !ok {
+				break
+			}
+			var err error
+			if op.Insert {
+				err = s.Insert(int64(op.ID), op.Size)
+			} else {
+				err = s.Delete(int64(op.ID))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) - 1
+		if i >= len(gens) {
+			b.Error("more parallel goroutines than GOMAXPROCS")
+			return
+		}
+		gen := gens[i]
+		for pb.Next() {
+			op, ok := gen.Next()
+			if !ok {
+				b.Error("zipf stream ended")
+				return
+			}
+			var err error
+			if op.Insert {
+				err = s.Insert(int64(op.ID), op.Size)
+			} else {
+				err = s.Delete(int64(op.ID))
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkShardedParallel is the parallel scaling suite: run with
+//
+//	go test -bench ShardedParallel -cpu 1,2,4,8
+//
+// and compare ns/op across the -cpu sweep. cmd/benchgate's scaling gate
+// enforces the mixed curve in CI.
+func BenchmarkShardedParallel(b *testing.B) {
+	b.Run("read", func(b *testing.B) { benchShardedParallelMix(b, 100) })
+	b.Run("mixed", func(b *testing.B) { benchShardedParallelMix(b, 95) })
+	b.Run("churnUniform", func(b *testing.B) { benchShardedParallelMix(b, 0) })
+	b.Run("churnZipf", benchShardedParallelZipf)
+}
+
+// BenchmarkShardedAggregateReads measures the monitoring hot loop —
+// the aggregate reads a metrics poller issues continuously against a
+// live sharded reallocator. These are lock-free mirror reads, and the
+// Append/Read forms must be allocation-free (b.ReportAllocs is the
+// regression tripwire).
+func BenchmarkShardedAggregateReads(b *testing.B) {
+	s, err := realloc.NewSharded(
+		realloc.WithEpsilon(0.25), realloc.WithShards(8), realloc.WithMetrics(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 0x5eed))
+	for id := int64(1); id <= 4000; id++ {
+		if err := s.Insert(id, int64(1+rng.IntN(64))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("Volume", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Volume()
+		}
+	})
+	b.Run("Footprint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Footprint()
+		}
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Snapshot()
+		}
+	})
+	b.Run("ReadSnapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		var snap realloc.Snapshot
+		for i := 0; i < b.N; i++ {
+			s.ReadSnapshot(&snap)
+		}
+	})
+	b.Run("ShardVolumes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.ShardVolumes()
+		}
+	})
+	b.Run("AppendShardVolumes", func(b *testing.B) {
+		b.ReportAllocs()
+		vols := make([]int64, 0, s.Shards())
+		for i := 0; i < b.N; i++ {
+			vols = s.AppendShardVolumes(vols[:0])
+		}
+	})
+	b.Run("Stats", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = s.Stats()
+		}
+	})
+	b.Run("ReadStats", func(b *testing.B) {
+		b.ReportAllocs()
+		var st realloc.Stats
+		for i := 0; i < b.N; i++ {
+			_ = s.ReadStats(&st)
+		}
+	})
+}
+
 // BenchmarkPublicAPI measures the public facade's overhead.
 func BenchmarkPublicAPI(b *testing.B) {
 	r, err := realloc.New(realloc.WithEpsilon(0.25))

@@ -1,19 +1,32 @@
 // Command benchgate is the CI benchmark-regression gate. It parses `go
-// test -bench` output (a file or stdin), checks the churn-scaling ratios
-// against per-variant limits, and writes a BENCH_ci_churn.json trajectory
-// record (schema: internal/benchfmt) so every CI run leaves a comparable
-// artifact instead of a log line that disappears with the job.
+// test -bench` output (a file or stdin), checks benchmark ratios against
+// limits, and writes a BENCH_<id>.json trajectory record (schema:
+// internal/benchfmt) so every CI run leaves a comparable artifact
+// instead of a log line that disappears with the job.
 //
-// Usage:
+// The default mode gates churn scaling in live volume:
 //
 //	go test -run '^$' -bench BenchmarkChurnScaling -benchtime 20000x . | \
 //	    benchgate [-in -] [-out BENCH_ci_churn.json]
 //	    [-bench BenchmarkChurnScaling] [-small 100000] [-big 1000000]
 //	    [-gates amortized=4,checkpointed=4,deamortized=3]
 //
-// The gate fails (exit 1) when a variant's per-op time at the big size
-// exceeds limit × its time at the small size, or when expected results
-// are missing — a silent benchmark rename must not pass the gate.
+// With -scaling, it instead gates parallel scaling of the sharded
+// front-end from a `-cpu` sweep: the gated scenario's throughput at
+// -procsHigh must be at least -minSpeedup times its throughput at
+// -procsLow (ns/op from b.RunParallel is wall-clock per op, so the
+// speedup is nsLow/nsHigh), and every scenario×procs point found is
+// recorded in the trajectory file:
+//
+//	go test -run '^$' -bench BenchmarkShardedParallel -cpu 1,2,4,8 \
+//	    -benchtime 30000x . | \
+//	    benchgate -scaling [-scalingBench BenchmarkShardedParallel]
+//	    [-scenario mixed] [-procsLow 1] [-procsHigh 8] [-minSpeedup 4]
+//	    [-out BENCH_ci_scaling.json]
+//
+// Either gate fails (exit 1) when its ratio is out of bounds or when
+// expected results are missing — a silent benchmark rename must not
+// pass the gate.
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -37,19 +51,21 @@ func main() {
 func run() int {
 	var (
 		in    = flag.String("in", "-", "bench output to read (- for stdin)")
-		out   = flag.String("out", "BENCH_ci_churn.json", "trajectory record to write (empty to skip)")
+		out   = flag.String("out", "", "trajectory record to write (empty: mode default; 'none' to skip)")
 		bench = flag.String("bench", "BenchmarkChurnScaling", "benchmark family to gate")
 		small = flag.Int64("small", 100_000, "small live-cell size")
 		big   = flag.Int64("big", 1_000_000, "big live-cell size")
 		gates = flag.String("gates", "amortized=4,checkpointed=4,deamortized=3",
 			"comma-separated variant=maxRatio limits")
+		scaling      = flag.Bool("scaling", false, "gate parallel scaling of a -cpu sweep instead of churn ratios")
+		scalingBench = flag.String("scalingBench", "BenchmarkShardedParallel", "scaling benchmark family")
+		scenario     = flag.String("scenario", "mixed", "scaling scenario the gate applies to")
+		procsLow     = flag.Int("procsLow", 1, "baseline GOMAXPROCS of the scaling gate")
+		procsHigh    = flag.Int("procsHigh", 8, "contended GOMAXPROCS of the scaling gate")
+		minSpeedup   = flag.Float64("minSpeedup", 4, "required procsHigh/procsLow throughput ratio")
 	)
 	flag.Parse()
 
-	limits, order, err := parseGates(*gates)
-	if err != nil {
-		return fail(err)
-	}
 	var src io.Reader = os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
@@ -60,6 +76,17 @@ func run() int {
 		src = f
 	}
 	results, err := benchfmt.ParseBench(src)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *scaling {
+		return runScaling(results, *scalingBench, *scenario, *procsLow, *procsHigh, *minSpeedup,
+			defaultOut(*out, "BENCH_ci_scaling.json"))
+	}
+	*out = defaultOut(*out, "BENCH_ci_churn.json")
+
+	limits, order, err := parseGates(*gates)
 	if err != nil {
 		return fail(err)
 	}
@@ -89,36 +116,129 @@ func run() int {
 			variant, *small/100_000, smallNs, *big/100_000, bigNs, ratio, status)
 	}
 
-	if *out != "" {
-		manifest := benchfmt.CurrentManifest()
-		rec := benchfmt.Record{
-			ID:        "ci_churn",
-			Title:     "CI churn-scaling gate",
-			Claim:     fmt.Sprintf("per-op churn cost stays near-flat from %d to %d live cells", *small, *big),
-			Timestamp: time.Now().UTC(),
-			GoVersion: manifest.GoVersion,
-			Findings:  findings,
-			Manifest:  manifest,
-		}
-		buf, err := json.MarshalIndent(rec, "", "  ")
-		if err != nil {
-			return fail(err)
-		}
-		if dir := filepath.Dir(*out); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				return fail(err)
-			}
-		}
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "benchgate: wrote %s\n", *out)
+	if err := writeRecord(*out, "ci_churn", "CI churn-scaling gate",
+		fmt.Sprintf("per-op churn cost stays near-flat from %d to %d live cells", *small, *big),
+		findings); err != nil {
+		return fail(err)
 	}
 	if bad {
 		fmt.Fprintln(os.Stderr, "benchgate: ratio regression (or missing data) — see above")
 		return 1
 	}
 	return 0
+}
+
+// runScaling is the -scaling mode: every scenario×procs point of the
+// sweep lands in the trajectory findings (keyed scenario/p<procs>/ns_per_op
+// and scenario/speedup_p<low>_p<high>), and the gated scenario's
+// high-procs speedup must clear minSpeedup.
+func runScaling(results []benchfmt.Result, family, scenario string, procsLow, procsHigh int, minSpeedup float64, out string) int {
+	findings := map[string]float64{}
+	scenarios := map[string]bool{}
+	prefix := family + "/"
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		sc := strings.TrimPrefix(r.Name, prefix)
+		scenarios[sc] = true
+		findings[fmt.Sprintf("%s/p%d/ns_per_op", sc, r.Procs)] = r.NsPerOp
+	}
+	if len(scenarios) == 0 {
+		return fail(fmt.Errorf("no %s/* results in the input", family))
+	}
+	for sc := range scenarios {
+		low, err1 := benchfmt.NsPerOpAt(results, prefix+sc, procsLow)
+		high, err2 := benchfmt.NsPerOpAt(results, prefix+sc, procsHigh)
+		if err1 != nil || err2 != nil || high <= 0 {
+			continue
+		}
+		findings[fmt.Sprintf("%s/speedup_p%d_p%d", sc, procsLow, procsHigh)] = low / high
+	}
+
+	bad := false
+	gateKey := fmt.Sprintf("%s/speedup_p%d_p%d", scenario, procsLow, procsHigh)
+	speedup, ok := findings[gateKey]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchgate: missing %s results at %d and/or %d procs — a renamed benchmark must not pass the gate\n",
+			prefix+scenario, procsLow, procsHigh)
+		bad = true
+	} else {
+		findings[gateKey+"_min"] = minSpeedup
+		status := "ok"
+		if speedup < minSpeedup {
+			status = fmt.Sprintf("FAIL (min %g)", minSpeedup)
+			bad = true
+		}
+		fmt.Printf("%s: %d-proc vs %d-proc speedup %.2fx %s\n", scenario, procsHigh, procsLow, speedup, status)
+	}
+	names := make([]string, 0, len(scenarios))
+	for sc := range scenarios {
+		if sc != scenario {
+			names = append(names, sc)
+		}
+	}
+	sort.Strings(names)
+	for _, sc := range names {
+		if v, ok := findings[fmt.Sprintf("%s/speedup_p%d_p%d", sc, procsLow, procsHigh)]; ok {
+			fmt.Printf("%s: %d-proc vs %d-proc speedup %.2fx (informational)\n", sc, procsHigh, procsLow, v)
+		}
+	}
+
+	if err := writeRecord(out, "ci_scaling", "CI parallel-scaling gate",
+		fmt.Sprintf("sharded %s throughput at %d procs is >= %gx its %d-proc throughput", scenario, procsHigh, minSpeedup, procsLow),
+		findings); err != nil {
+		return fail(err)
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "benchgate: scaling regression (or missing data) — see above")
+		return 1
+	}
+	return 0
+}
+
+// defaultOut resolves the -out flag: empty takes the mode default, the
+// literal "none" skips the record (writeRecord treats "" as skip).
+func defaultOut(out, def string) string {
+	switch out {
+	case "":
+		return def
+	case "none":
+		return ""
+	default:
+		return out
+	}
+}
+
+// writeRecord persists one trajectory record; out == "" skips.
+func writeRecord(out, id, title, claim string, findings map[string]float64) error {
+	if out == "" {
+		return nil
+	}
+	manifest := benchfmt.CurrentManifest()
+	rec := benchfmt.Record{
+		ID:        id,
+		Title:     title,
+		Claim:     claim,
+		Timestamp: time.Now().UTC(),
+		GoVersion: manifest.GoVersion,
+		Findings:  findings,
+		Manifest:  manifest,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: wrote %s\n", out)
+	return nil
 }
 
 // parseGates parses "a=4,b=3" into limits, preserving order for output.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	reallocbench [-e E1|E2|...|E14|all] [-seed N] [-ops N] [-quick] [-list]
+//	reallocbench [-e E1|E2|...|E15|all] [-seed N] [-ops N] [-quick] [-list]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-json] [-outdir DIR]
 //
 // With -json, each experiment additionally writes a machine-readable
@@ -36,7 +36,7 @@ func main() {
 // corrupt the very artifacts a profiled run exists to produce.
 func run() int {
 	var (
-		which      = flag.String("e", "all", "experiment to run (E1..E14 or 'all')")
+		which      = flag.String("e", "all", "experiment to run (E1..E15 or 'all')")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		ops        = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
 		quick      = flag.Bool("quick", false, "reduced scale for a fast pass")

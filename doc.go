@@ -53,9 +53,55 @@
 // is that there is no single contiguous address space: a placement is
 // identified by (shard, address), and observer Events carry their Shard
 // index so a translation layer can key physical locations accordingly.
-// Operations on one object lock only its shard; aggregate reads (Len,
-// Volume, Footprint, Stats) visit shards one lock at a time and return a
-// per-shard-consistent, not globally atomic, snapshot.
+//
+// # Parallel scaling
+//
+// The sharded front-end is built so an uncontended operation touches no
+// shared mutable cache line except its own shard's:
+//
+//   - Routing is lock-free. The id→shard table is an immutable
+//     copy-on-write structure published through an atomic pointer;
+//     resolving a route is one pointer load (plus a map lookup only
+//     while rebalancer-migrated ids exist), and the owning-shard
+//     re-check after locking compares table pointers instead of taking
+//     a router lock. Migrations publish route changes only while
+//     holding both affected shard locks, so every operation still sees
+//     exactly one owner per id.
+//   - Per-object reads do not serialize. Extent and Has take only the
+//     owning shard's read lock: concurrent readers of one shard
+//     proceed together, and readers of different shards share nothing.
+//     Insert and Delete take the owning shard's write lock.
+//   - Aggregate reads take no shard locks. Each shard maintains a
+//     cache-line-padded block of lock-free mirrors (volume, footprint,
+//     len, flushes, ∆, flush activity), updated under its lock after
+//     every mutation and read via atomics; a per-shard seqlock keeps
+//     Snapshot's (len, volume, footprint) triples internally
+//     consistent. Len, Volume, Footprint, Flushes, Delta, FlushActive,
+//     ShardVolume(s), ShardFootprint, and Snapshot read only these
+//     mirrors. The semantics are unchanged from the locked
+//     implementation: each per-shard term is a consistent
+//     post-operation value, but shards are visited one at a time, so
+//     under concurrent mutation the result is a per-shard-consistent,
+//     not globally atomic, snapshot.
+//
+// Monitoring loops should prefer the allocation-free forms
+// AppendShardVolumes, ReadSnapshot, and ReadStats over their allocating
+// counterparts. BenchmarkShardedParallel (run with -cpu 1,2,4,8) and
+// experiment E15 measure the cores→throughput curves; CI enforces the
+// mixed-workload scaling gate via cmd/benchgate -scaling and persists
+// the curve in a BENCH_ci_scaling.json trajectory record per run.
+//
+// A WithObserver callback on a sharded reallocator runs while the
+// emitting shard's write lock is held (both shard locks for migration
+// events): it must not call back into anything that takes a shard lock
+// — the per-object methods (Insert, Delete, Extent, Has) and the
+// metrics readers (Stats, ReadStats, ShardStats, which read each
+// shard's recorder under its read lock) can all deadlock on the
+// emitting shard. The mirror-only aggregate reads above (Volume,
+// Footprint, Len, Flushes, Delta, FlushActive, ShardVolume(s),
+// ShardFootprint, AppendShardVolumes, Snapshot/ReadSnapshot, ShardOf)
+// take no locks and are safe to call from the callback; they observe
+// the state as of the last completed operation.
 //
 // # Rebalancing
 //

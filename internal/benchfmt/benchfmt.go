@@ -68,6 +68,7 @@ func CurrentManifest() Manifest {
 // Result is one parsed benchmark result line.
 type Result struct {
 	Name        string // full name, trailing -GOMAXPROCS suffix stripped
+	Procs       int    // the stripped -GOMAXPROCS suffix; 1 when absent
 	Iters       int64
 	NsPerOp     float64
 	BytesPerOp  float64 // -1 when the line carries no -benchmem columns
@@ -97,7 +98,8 @@ func ParseBench(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue
 		}
-		res := Result{Name: stripProcs(fields[0]), Iters: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		name, procs := splitProcs(fields[0])
+		res := Result{Name: name, Procs: procs, Iters: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
 		for i := 4; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -115,23 +117,27 @@ func ParseBench(r io.Reader) ([]Result, error) {
 	return out, sc.Err()
 }
 
-// stripProcs removes the trailing -N GOMAXPROCS suffix of a benchmark
+// splitProcs splits off the trailing -N GOMAXPROCS suffix of a benchmark
 // name (the name itself may contain dashes, so only a trailing all-digit
-// segment goes).
-func stripProcs(name string) string {
+// segment goes). Results without a suffix report 1 proc, matching go
+// test's convention of omitting -1. A `-cpu 1,2,4,8` sweep produces one
+// Result per proc count under the same stripped Name, which is what the
+// scaling gate compares.
+func splitProcs(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 || i == len(name)-1 {
-		return name
+		return name, 1
 	}
-	for _, c := range name[i+1:] {
-		if c < '0' || c > '9' {
-			return name
-		}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs < 1 {
+		return name, 1
 	}
-	return name[:i]
+	return name[:i], procs
 }
 
-// NsPerOp finds name among results.
+// NsPerOp finds name among results, ignoring the proc count — use
+// NsPerOpAt for results of a -cpu sweep, where one name has several
+// entries.
 func NsPerOp(results []Result, name string) (float64, error) {
 	for _, r := range results {
 		if r.Name == name {
@@ -139,4 +145,14 @@ func NsPerOp(results []Result, name string) (float64, error) {
 		}
 	}
 	return 0, fmt.Errorf("benchfmt: no result named %q", name)
+}
+
+// NsPerOpAt finds the result for name at an exact GOMAXPROCS count.
+func NsPerOpAt(results []Result, name string, procs int) (float64, error) {
+	for _, r := range results {
+		if r.Name == name && r.Procs == procs {
+			return r.NsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("benchfmt: no result named %q at %d procs", name, procs)
 }

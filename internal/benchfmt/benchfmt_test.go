@@ -46,20 +46,51 @@ func TestParseBench(t *testing.T) {
 	if _, err := NsPerOp(results, "BenchmarkMissing"); err == nil {
 		t.Fatal("missing benchmark found")
 	}
+	// Proc counts: absent suffix means 1 proc; -8 and -16 parse out.
+	if results[0].Procs != 1 || results[1].Procs != 8 || results[2].Procs != 16 {
+		t.Fatalf("procs: got %d/%d/%d, want 1/8/16",
+			results[0].Procs, results[1].Procs, results[2].Procs)
+	}
 }
 
-func TestStripProcs(t *testing.T) {
-	cases := map[string]string{
-		"BenchmarkX-8":           "BenchmarkX",
-		"BenchmarkX":             "BenchmarkX",
-		"BenchmarkX-8a":          "BenchmarkX-8a",
-		"BenchmarkA/b=1-128":     "BenchmarkA/b=1",
-		"BenchmarkTrailingDash-": "BenchmarkTrailingDash-",
+func TestSplitProcs(t *testing.T) {
+	cases := map[string]struct {
+		name  string
+		procs int
+	}{
+		"BenchmarkX-8":           {"BenchmarkX", 8},
+		"BenchmarkX":             {"BenchmarkX", 1},
+		"BenchmarkX-8a":          {"BenchmarkX-8a", 1},
+		"BenchmarkA/b=1-128":     {"BenchmarkA/b=1", 128},
+		"BenchmarkTrailingDash-": {"BenchmarkTrailingDash-", 1},
 	}
 	for in, want := range cases {
-		if got := stripProcs(in); got != want {
-			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		if name, procs := splitProcs(in); name != want.name || procs != want.procs {
+			t.Errorf("splitProcs(%q) = %q, %d, want %q, %d", in, name, procs, want.name, want.procs)
 		}
+	}
+}
+
+// TestNsPerOpAt covers the -cpu sweep lookup the scaling gate uses: the
+// same stripped name resolved at distinct proc counts.
+func TestNsPerOpAt(t *testing.T) {
+	sweep := `BenchmarkShardedParallel/mixed       	  30000	       800.0 ns/op
+BenchmarkShardedParallel/mixed-8     	  30000	       100.0 ns/op
+`
+	results, err := ParseBench(strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NsPerOpAt(results, "BenchmarkShardedParallel/mixed", 1)
+	if err != nil || one != 800 {
+		t.Fatalf("at 1 proc: %v %v", one, err)
+	}
+	eight, err := NsPerOpAt(results, "BenchmarkShardedParallel/mixed", 8)
+	if err != nil || eight != 100 {
+		t.Fatalf("at 8 procs: %v %v", eight, err)
+	}
+	if _, err := NsPerOpAt(results, "BenchmarkShardedParallel/mixed", 4); err == nil {
+		t.Fatal("missing proc count found")
 	}
 }
 

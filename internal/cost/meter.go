@@ -2,7 +2,8 @@ package cost
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // Meter prices an allocation/reallocation event stream under a family of
@@ -113,7 +114,16 @@ type Line struct {
 // Lines returns one summary per cost function, sorted by function name for
 // stable output.
 func (m *Meter) Lines() []Line {
-	out := make([]Line, 0, len(m.funcs))
+	return m.AppendLines(make([]Line, 0, len(m.funcs)))
+}
+
+// AppendLines appends one summary per cost function to dst and returns
+// the extended slice, allocating nothing when dst has capacity — the
+// allocation-free form of Lines for monitoring loops. The appended run
+// is sorted by function name; dst's existing contents are untouched.
+func (m *Meter) AppendLines(dst []Line) []Line {
+	base := len(dst)
+	out := dst
 	for i, f := range m.funcs {
 		l := Line{
 			Func:         f.Name(),
@@ -130,7 +140,8 @@ func (m *Meter) Lines() []Line {
 		}
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	run := out[base:]
+	slices.SortFunc(run, func(a, b Line) int { return strings.Compare(a.Func, b.Func) })
 	return out
 }
 

@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: one function per experiment in
-// EXPERIMENTS.md (E1–E14), each regenerating the table or figure that
+// EXPERIMENTS.md (E1–E15), each regenerating the table or figure that
 // validates a claim of the paper. The harness is shared by
 // cmd/reallocbench, the root benchmark suite, and the integration tests
 // that assert the *shape* of each result (who wins, by what order, where
@@ -87,6 +87,8 @@ func All() []Experiment {
 			"Per-allocator guarantees survive hash partitioning: sharding multiplies throughput while each shard keeps footprint <= (1+eps)*V_shard", E13},
 		{"E14", "Cross-shard rebalancing under zipf skew",
 			"Per-allocator guarantees survive migration: rebalancing levels a zipf-skewed volume (spread <= 2x vs > 4x static) and recovers parallel throughput, keeping footprint <= (1+eps)*V", E14},
+		{"E15", "Lock-free front-end parallel scaling",
+			"Uncontended operations touch no shared mutable cache line except their own shard: routing is one atomic load, per-object reads take only a shard read lock, aggregate reads take none", E15},
 	}
 }
 

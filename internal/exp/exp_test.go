@@ -344,3 +344,25 @@ func TestE14Shape(t *testing.T) {
 		}
 	}
 }
+
+// TestE15Shape asserts the lock-free scaling experiment produces a
+// throughput figure for every workload×workers cell and that its
+// structural checks held (E15 errors out on lost objects, live-set
+// divergence, or invariant violations). Speedup magnitudes are
+// machine-dependent and only checked for presence.
+func TestE15Shape(t *testing.T) {
+	res, err := E15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []string{"read", "mixed", "churn"} {
+		for _, w := range []string{"1", "2", "4", "8"} {
+			if v := res.Findings[sc+"/"+w+"/opsPerSec"]; v <= 0 {
+				t.Errorf("%s/%s/opsPerSec = %v, want > 0", sc, w, v)
+			}
+			if v := res.Findings[sc+"/"+w+"/speedup"]; v <= 0 {
+				t.Errorf("%s/%s/speedup = %v, want > 0", sc, w, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"realloc"
+)
+
+// MixTarget is the front-end surface a mixed read/churn stream drives;
+// ShardedReallocator satisfies it.
+type MixTarget interface {
+	Insert(id int64, size int64) error
+	Delete(id int64) error
+	Extent(id int64) (realloc.Extent, bool)
+	Has(id int64) bool
+}
+
+type mixObj struct{ id, size int64 }
+
+// MixStream is one worker's deterministic read/churn step generator,
+// shared by experiment E15 and the root BenchmarkShardedParallel suite
+// so the benchmark CI gates and the experiment harness can never drift
+// apart. Each stream owns a disjoint id range (worker index in the high
+// bits) and holds its private live volume near a target, so every Step
+// is exactly one front-end operation.
+type MixStream struct {
+	rng       *rand.Rand
+	base      int64
+	next      int64
+	live      []mixObj
+	vol       int64
+	flip      bool
+	targetVol int64
+	maxSize   int
+}
+
+// NewMixStream creates worker w's stream. Distinct (seed, worker) pairs
+// produce disjoint id populations.
+func NewMixStream(seed uint64, worker int, targetVol int64, maxSize int) *MixStream {
+	return &MixStream{
+		rng:       rand.New(rand.NewPCG(seed, 0xe150^uint64(worker))),
+		base:      int64(worker+1) << 40,
+		next:      1,
+		targetVol: targetVol,
+		maxSize:   maxSize,
+	}
+}
+
+// Seed grows the stream's live population to its target volume; run it
+// outside any timed region.
+func (m *MixStream) Seed(t MixTarget) error {
+	for m.vol < m.targetVol {
+		if err := m.insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *MixStream) insert(t MixTarget) error {
+	id := m.base | m.next
+	m.next++
+	size := int64(1 + m.rng.IntN(m.maxSize))
+	if err := t.Insert(id, size); err != nil {
+		return err
+	}
+	m.live = append(m.live, mixObj{id, size})
+	m.vol += size
+	return nil
+}
+
+// Step performs one operation: with probability readPct% a read
+// (alternating Extent and Has on a random live object, erroring if the
+// target has lost it), otherwise a churn step that holds the live
+// volume near its target.
+func (m *MixStream) Step(t MixTarget, readPct int) error {
+	if m.rng.IntN(100) < readPct {
+		o := m.live[m.rng.IntN(len(m.live))]
+		if m.flip = !m.flip; m.flip {
+			if _, ok := t.Extent(o.id); !ok {
+				return fmt.Errorf("lost id %d", o.id)
+			}
+		} else if !t.Has(o.id) {
+			return fmt.Errorf("lost id %d", o.id)
+		}
+		return nil
+	}
+	if m.vol < m.targetVol || m.rng.IntN(2) == 0 {
+		return m.insert(t)
+	}
+	j := m.rng.IntN(len(m.live))
+	o := m.live[j]
+	m.live[j] = m.live[len(m.live)-1]
+	m.live = m.live[:len(m.live)-1]
+	if err := t.Delete(o.id); err != nil {
+		return err
+	}
+	m.vol -= o.size
+	return nil
+}
+
+// Live returns how many objects the stream currently keeps live.
+func (m *MixStream) Live() int { return len(m.live) }

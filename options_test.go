@@ -52,11 +52,18 @@ func TestInsertSizeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, size := range []int64{0, -1, -4096} {
-		if err := r.Insert(1, size); err == nil || !strings.Contains(err.Error(), "size must be >= 1") {
-			t.Errorf("New Insert(size=%d) error = %v, want size message", size, err)
+		errSingle := r.Insert(1, size)
+		if errSingle == nil || !strings.Contains(errSingle.Error(), "realloc: object size must be >= 1") {
+			t.Errorf("New Insert(size=%d) error = %v, want size message", size, errSingle)
 		}
-		if err := s.Insert(1, size); err == nil || !strings.Contains(err.Error(), "size must be >= 1") {
-			t.Errorf("Sharded Insert(size=%d) error = %v, want size message", size, err)
+		errSharded := s.Insert(1, size)
+		if errSharded == nil || !strings.Contains(errSharded.Error(), "realloc: object size must be >= 1") {
+			t.Errorf("Sharded Insert(size=%d) error = %v, want size message", size, errSharded)
+		}
+		// The validation is defined once (validateSize), so the two
+		// facades' messages can never drift apart.
+		if errSingle != nil && errSharded != nil && errSingle.Error() != errSharded.Error() {
+			t.Errorf("facade messages drifted: %q vs %q", errSingle, errSharded)
 		}
 	}
 	if r.Has(1) || s.Has(1) {

@@ -58,6 +58,17 @@ func validateEpsilon(eps float64) error {
 	return nil
 }
 
+// validateSize is the one definition of the public size contract, shared
+// by both front-ends so their messages cannot drift. core re-checks the
+// same bound defensively, but callers of the public API always see this
+// error.
+func validateSize(size int64) error {
+	if size < 1 {
+		return fmt.Errorf("realloc: object size must be >= 1, got %d", size)
+	}
+	return nil
+}
+
 // WithEpsilon sets the footprint slack target ε in (0, 1]: the footprint
 // stays within (1+ε)·V. Default 0.25.
 func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
@@ -187,8 +198,8 @@ func New(opts ...Option) (*Reallocator, error) {
 // Insert services 〈InsertObject, id, size〉: it allocates a size-cell
 // object under the caller's non-zero id.
 func (r *Reallocator) Insert(id int64, size int64) error {
-	if size < 1 {
-		return fmt.Errorf("realloc: object size must be >= 1, got %d", size)
+	if err := validateSize(size); err != nil {
+		return err
 	}
 	defer r.lock()()
 	return r.inner.Insert(addrspace.ID(id), size)

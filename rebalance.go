@@ -111,20 +111,16 @@ func (s *ShardedReallocator) Close() error {
 	return s.rebalErr
 }
 
-// cachedVols reads the lock-free per-shard volume cache the trigger
-// checks and the sweep planner run on.
-func (s *ShardedReallocator) cachedVols() []int64 {
-	vols := make([]int64, len(s.shards))
-	for i, sh := range s.shards {
-		vols[i] = sh.vol.Load()
-	}
-	return vols
-}
-
-// skewedNow is the lock-free trigger check against the cached per-shard
-// volumes.
+// skewedNow is the lock-free trigger check against the mirrored
+// per-shard volumes; the scratch vector is pooled so hot-path inline
+// triggers allocate nothing.
 func (s *ShardedReallocator) skewedNow() bool {
-	return rebalance.Skew(s.cachedVols()) > s.pol.Threshold
+	volsPtr := s.volScratch.Get().(*[]int64)
+	vols := s.AppendShardVolumes((*volsPtr)[:0])
+	skewed := rebalance.Skew(vols) > s.pol.Threshold
+	*volsPtr = vols
+	s.volScratch.Put(volsPtr)
+	return skewed
 }
 
 // maybeStealRebalance is the inline-mode trigger, run by mutating
@@ -166,7 +162,7 @@ func (s *ShardedReallocator) sweep() (int, error) {
 	if len(s.shards) < 2 {
 		return 0, nil
 	}
-	vols := s.cachedVols()
+	vols := s.AppendShardVolumes(nil)
 	moved := 0
 	for _, m := range rebalance.PlanMoves(vols, s.pol.Threshold) {
 		n, err := s.migrate(m.From, m.To, m.Volume, s.pol.BatchObjects)
@@ -236,11 +232,16 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 		all = append(all, victim{id, e})
 	})
 	var movedVol int64
-	// Whatever path exits the batch, account the objects that did move
-	// and refresh the cached volumes the trigger checks run on.
+	var rerouted []int64
+	// Whatever path exits the batch, reroute the objects that did move,
+	// account them, and republish both shards' read mirrors. The route
+	// table is republished once for the whole batch — both shard locks
+	// stay held until after this defer runs, so acquire's under-lock
+	// re-check can never act on the not-yet-published reroutes.
 	defer func() {
-		src.vol.Store(src.inner.Volume())
-		dst.vol.Store(dst.inner.Volume())
+		s.router.setAll(rerouted, to)
+		src.publish()
+		dst.publish()
 		s.migrations.Add(int64(moved))
 		s.migratedVolume.Add(movedVol)
 	}()
@@ -269,7 +270,7 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 			}
 			return moved, fmt.Errorf("realloc: migrate %d->%d insert id %d: %w", from, to, v.id, err)
 		}
-		s.router.set(int64(v.id), to)
+		rerouted = append(rerouted, int64(v.id))
 		moved++
 		movedVol += ext.Size
 		if s.observer != nil {

@@ -1,0 +1,206 @@
+package realloc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"realloc/internal/shardhash"
+)
+
+// TestRouteIsMutexFree is the structural guarantee behind the lock-free
+// hot path: route(), overrideCount(), and ShardOf must complete while the
+// router's only mutex — the copy-on-write writer lock — is held by
+// someone else. Under the old RWMutex design this deadlocked; now reads
+// touch nothing but the published table pointer.
+func TestRouteIsMutexFree(t *testing.T) {
+	rt := newRouter(8)
+	var id int64
+	for id = 1; shardhash.Home(id, 8) == 5; id++ {
+	}
+	rt.setAll([]int64{id}, 5)
+
+	rt.writeMu.Lock()
+	defer rt.writeMu.Unlock()
+
+	done := make(chan [2]int, 1)
+	go func() {
+		var got [2]int
+		got[0] = rt.route(id)
+		got[1] = rt.overrideCount()
+		done <- got
+	}()
+	select {
+	case got := <-done:
+		if got[0] != 5 {
+			t.Fatalf("route(%d) = %d while writer lock held, want override 5", id, got[0])
+		}
+		if got[1] == 0 {
+			t.Fatal("overrideCount() = 0, want > 0")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("route() blocked on the router writer mutex — the read path is not lock-free")
+	}
+}
+
+// TestRouterCopyOnWrite checks the table-publishing semantics: published
+// tables are never mutated (a held snapshot stays valid), overrides
+// routing home are dropped rather than stored, and the empty state is
+// the nil-map fast path.
+func TestRouterCopyOnWrite(t *testing.T) {
+	rt := newRouter(4)
+	if rt.table.Load().overrides != nil {
+		t.Fatal("fresh router should publish the nil-overrides fast-path table")
+	}
+
+	var id int64
+	for id = 1; shardhash.Home(id, 4) == 2; id++ {
+	}
+	snap := rt.table.Load()
+	rt.setAll([]int64{id}, 2)
+	if got := rt.route(id); got != 2 {
+		t.Fatalf("route(%d) = %d after override, want 2", id, got)
+	}
+	if got := rt.routeIn(snap, id); got != shardhash.Home(id, 4) {
+		t.Fatalf("held snapshot mutated: routeIn = %d, want hash home %d", got, shardhash.Home(id, 4))
+	}
+	if rt.table.Load() == snap {
+		t.Fatal("override published without a new table pointer")
+	}
+
+	// Rerouting back to the hash home must drop the override entirely.
+	rt.setAll([]int64{id}, shardhash.Home(id, 4))
+	if n := rt.overrideCount(); n != 0 {
+		t.Fatalf("overrideCount = %d after rerouting home, want 0", n)
+	}
+	if rt.table.Load().overrides != nil {
+		t.Fatal("empty override table should republish the nil-map fast path")
+	}
+
+	// clear on a table with no overrides must not publish at all.
+	before := rt.table.Load()
+	rt.clear(id)
+	if rt.table.Load() != before {
+		t.Fatal("clear of an absent override republished the table")
+	}
+
+	rt.setAll([]int64{id}, 2)
+	rt.clear(id)
+	if got, want := rt.route(id), shardhash.Home(id, 4); got != want {
+		t.Fatalf("route(%d) = %d after clear, want hash home %d", id, got, want)
+	}
+}
+
+// TestRouterConcurrentReadersAndWriters hammers lock-free readers
+// against copy-on-write publishers; meaningful under -race, and asserts
+// every read resolves to either the override or the hash home (never a
+// torn or stale-beyond-one-publish value outside those two).
+func TestRouterConcurrentReadersAndWriters(t *testing.T) {
+	rt := newRouter(8)
+	const ids = 128
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for id := int64(1); id <= ids; id++ {
+					got := rt.route(id)
+					if got != 3 && got != shardhash.Home(id, 8) {
+						t.Errorf("route(%d) = %d, want override 3 or home %d", id, got, shardhash.Home(id, 8))
+						return
+					}
+				}
+			}
+		}()
+	}
+	batch := make([]int64, 0, ids)
+	for id := int64(1); id <= ids; id++ {
+		batch = append(batch, id)
+	}
+	for i := 0; i < 200; i++ {
+		rt.setAll(batch, 3)
+		for _, id := range batch {
+			rt.clear(id)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSkewCheckAllocationFree pins the inline-rebalance trigger's hot
+// path: a skew check against the mirrored volumes must not allocate.
+func TestSkewCheckAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	s, err := NewSharded(WithShards(4), WithEpsilon(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 256; id++ {
+		if err := s.Insert(id, 1+id%32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.skewedNow() // warm the pool
+	if n := testing.AllocsPerRun(100, func() { s.skewedNow() }); n != 0 {
+		t.Fatalf("skewedNow allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestAggregateReadsAllocationFree pins the monitoring hot loop: every
+// lock-free aggregate read, and the Append/Read reuse forms, must not
+// allocate once their destination buffers exist.
+func TestAggregateReadsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	s, err := NewSharded(WithShards(8), WithEpsilon(0.25), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 512; id++ {
+		if err := s.Insert(id, 1+id%32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vols := make([]int64, 0, s.Shards())
+	var snap Snapshot
+	var st Stats
+	// Warm destination buffers and internal pools once.
+	vols = s.AppendShardVolumes(vols[:0])
+	s.ReadSnapshot(&snap)
+	s.ReadStats(&st)
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Volume", func() { _ = s.Volume() }},
+		{"Footprint", func() { _ = s.Footprint() }},
+		{"Len", func() { _ = s.Len() }},
+		{"Delta", func() { _ = s.Delta() }},
+		{"Flushes", func() { _ = s.Flushes() }},
+		{"FlushActive", func() { _ = s.FlushActive() }},
+		{"ShardVolume", func() { _ = s.ShardVolume(0) }},
+		{"ShardFootprint", func() { _ = s.ShardFootprint(0) }},
+		{"ShardOf", func() { _ = s.ShardOf(77) }},
+		{"Has", func() { _ = s.Has(77) }},
+		{"Extent", func() { _, _ = s.Extent(77) }},
+		{"AppendShardVolumes", func() { vols = s.AppendShardVolumes(vols[:0]) }},
+		{"ReadSnapshot", func() { s.ReadSnapshot(&snap) }},
+		{"ReadStats", func() { _ = s.ReadStats(&st) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.1f per call, want 0", c.name, n)
+		}
+	}
+}

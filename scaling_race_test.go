@@ -1,0 +1,242 @@
+package realloc_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"realloc"
+)
+
+// TestShardedRouteConsistencyUnderMigration is the correctness stress
+// for the lock-free routing fast path, meaningful under -race: a set of
+// probe objects that are never deleted is hammered by concurrent Extent
+// and Has readers while churn writers drive inline-rebalance migrations,
+// a migration storm forces route-table republishes directly, and Close
+// lands mid-flight. Every read must observe a route-consistent owner —
+// a probe is never lost (reader finds it regardless of which shard
+// currently owns it) — and after quiescing, every probe is owned by
+// exactly one shard (ForEach sees it exactly once) and the route table
+// has no leaked overrides for deleted ids.
+func TestShardedRouteConsistencyUnderMigration(t *testing.T) {
+	const shards = 4
+	const probes = 64
+	s, err := realloc.NewSharded(
+		realloc.WithShards(shards),
+		realloc.WithEpsilon(0.25),
+		realloc.WithRebalance(realloc.RebalancePolicy{
+			Mode:         realloc.RebalanceInline,
+			Threshold:    1.2,
+			CheckEvery:   16,
+			BatchObjects: 32,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeSize := map[int64]int64{}
+	for id := int64(1); id <= probes; id++ {
+		size := 1 + id%48
+		if err := s.Insert(id, size); err != nil {
+			t.Fatal(err)
+		}
+		probeSize[id] = size
+	}
+
+	var stop atomic.Bool
+	var readers, writers sync.WaitGroup
+
+	// Readers: every probe must always be found, with its exact size,
+	// no matter how many times its route is republished underneath.
+	// They run until the writers and the migration storm have finished.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				for id := int64(1); id <= probes; id++ {
+					if !s.Has(id) {
+						t.Errorf("probe %d lost: Has = false", id)
+						stop.Store(true)
+						return
+					}
+					ext, ok := s.Extent(id)
+					if !ok || ext.Size != probeSize[id] {
+						t.Errorf("probe %d extent ok=%v size=%d, want size %d", id, ok, ext.Size, probeSize[id])
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Churn writers: volume swings on disjoint id ranges trip the
+	// inline skew trigger, so migrations interleave with the reads.
+	for w := 0; w < 2; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			base := int64(1000 * (w + 1))
+			for i := 0; i < 600 && !stop.Load(); i++ {
+				id := base + int64(i%40)
+				if s.Has(id) {
+					if err := s.Delete(id); err != nil {
+						t.Errorf("churn delete %d: %v", id, err)
+						return
+					}
+				} else if err := s.Insert(id, 64+int64(w*113)); err != nil {
+					t.Errorf("churn insert %d: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Migration storm: force cross-shard batches (and hence route-table
+	// republishes) directly, beyond what the skew trigger produces.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 300 && !stop.Load(); i++ {
+			if _, err := s.MigrateShard(i%shards, (i+1)%shards, 512, 8); err != nil {
+				t.Errorf("migrate storm: %v", err)
+				return
+			}
+		}
+		// Close mid-flight: readers and writers are still running. For
+		// an inline policy Close only reports the sticky sweep error,
+		// and it must be safe under full concurrency.
+		if err := s.Close(); err != nil {
+			t.Errorf("concurrent close: %v", err)
+		}
+	}()
+
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-one-owner: quiesced, every probe appears exactly once
+	// across all shards, with its original size.
+	seen := map[int64]int{}
+	s.ForEach(func(id int64, ext realloc.Extent) {
+		if id <= probes {
+			seen[id]++
+			if ext.Size != probeSize[id] {
+				t.Errorf("probe %d size %d after migrations, want %d", id, ext.Size, probeSize[id])
+			}
+		}
+	})
+	for id := int64(1); id <= probes; id++ {
+		if seen[id] != 1 {
+			t.Errorf("probe %d owned by %d shards, want exactly 1", id, seen[id])
+		}
+	}
+
+	// No leaked overrides: every override must belong to a live id.
+	if n := s.RouteOverrides(); n > s.Len() {
+		t.Fatalf("%d route overrides exceed %d live objects", n, s.Len())
+	}
+}
+
+// TestShardedAggregateReadsDuringMutation drives the lock-free aggregate
+// reads (Volume, Footprint, Len, Snapshot, ShardVolumes, Stats) from
+// concurrent goroutines while writers mutate every shard — the paths
+// that previously took every shard lock and now take none. Run with
+// -race; the assertions check per-shard snapshot consistency (totals
+// always equal the sum of the returned per-shard terms).
+func TestShardedAggregateReadsDuringMutation(t *testing.T) {
+	s, err := realloc.NewSharded(
+		realloc.WithShards(4), realloc.WithEpsilon(0.25), realloc.WithMetrics(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var snap realloc.Snapshot
+			var st realloc.Stats
+			vols := make([]int64, 0, 4)
+			for !stop.Load() {
+				s.ReadSnapshot(&snap)
+				var lenSum int
+				var volSum, footSum int64
+				for _, ss := range snap.Shards {
+					lenSum += ss.Len
+					volSum += ss.Volume
+					footSum += ss.Footprint
+				}
+				if lenSum != snap.Len || volSum != snap.Volume || footSum != snap.Footprint {
+					t.Error("snapshot totals diverge from per-shard terms")
+					stop.Store(true)
+					return
+				}
+				if v := s.Volume(); v < 0 {
+					t.Errorf("negative volume %d", v)
+					stop.Store(true)
+					return
+				}
+				_ = s.Footprint()
+				_ = s.Len()
+				_ = s.Delta()
+				_ = s.Flushes()
+				_ = s.FlushActive()
+				vols = s.AppendShardVolumes(vols[:0])
+				if len(vols) != 4 {
+					t.Errorf("AppendShardVolumes returned %d entries", len(vols))
+					stop.Store(true)
+					return
+				}
+				if !s.ReadStats(&st) {
+					t.Error("ReadStats reported metrics disabled")
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := int64((w + 1) << 20)
+			for i := int64(0); i < 2000; i++ {
+				id := base + i
+				if err := s.Insert(id, 1+i%32); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					break
+				}
+				if i%2 == 1 {
+					if err := s.Delete(id - 1); err != nil {
+						t.Errorf("delete %d: %v", id-1, err)
+						break
+					}
+				}
+			}
+			stop.Store(true)
+		}()
+	}
+	wg.Wait()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -206,6 +206,38 @@ func TestShardedOptionValidation(t *testing.T) {
 	}
 }
 
+// TestFailedOpsLeaveMirrorsUntouched: an Insert or Delete that errors
+// must not republish the shard's read mirrors (the old code stored the
+// volume mirror even when the inner delete failed).
+func TestFailedOpsLeaveMirrorsUntouched(t *testing.T) {
+	s, err := realloc.NewSharded(realloc.WithShards(2), realloc.WithEpsilon(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 64; id++ {
+		if err := s.Insert(id, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Snapshot()
+	if err := s.Delete(9999); err == nil {
+		t.Fatal("delete of unknown id should fail")
+	}
+	if err := s.Insert(5, 7); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if err := s.Insert(10000, 0); err == nil {
+		t.Fatal("zero size insert should fail")
+	}
+	after := s.Snapshot()
+	if before.Len != after.Len || before.Volume != after.Volume || before.Footprint != after.Footprint {
+		t.Fatalf("failed ops moved the mirrors: before %+v, after %+v", before, after)
+	}
+	if err := s.CheckInvariants(); err != nil { // cross-checks mirror == core
+		t.Fatal(err)
+	}
+}
+
 // TestShardedErrors mirrors the single-core error surface.
 func TestShardedErrors(t *testing.T) {
 	s, err := realloc.NewSharded(realloc.WithShards(2))
