@@ -19,6 +19,7 @@ import (
 	"realloc/internal/addrspace"
 	"realloc/internal/baseline"
 	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/exp"
 	"realloc/internal/trace"
 	"realloc/internal/workload"
@@ -143,13 +144,24 @@ func newVariant(b *testing.B, v core.Variant) *core.Reallocator {
 	return r
 }
 
+// newFCS builds the successor core behind the engine boundary, so the
+// churn benchmarks price both cores over identical streams.
+func newFCS(b *testing.B) engine.Engine {
+	e, err := engine.New(engine.Config{Core: engine.FCS, Epsilon: 0.25, Recorder: trace.Null{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
 // BenchmarkChurnScaling sweeps steady-state churn across live volumes of
-// 1e4, 1e5, and 1e6 cells for all three variants, making per-op growth
-// visible in one run. Per-op cost should stay near-flat across the sweep
-// (the amortized flush bound is O(1/ε) volume per request); superlinear
-// growth here means the flush path's bookkeeping is outrunning the
-// paper's bound. CI runs this with -benchmem and trips on a 1e5→1e6
-// blowup.
+// 1e4, 1e5, and 1e6 cells for all three variants of the reference core
+// plus the FCS successor, making per-op growth visible in one run. Per-op
+// cost should stay near-flat across the sweep (the amortized flush bound
+// is O(1/ε) volume per request; the successor's swap/rebuild bound is
+// O(1/ε) too); superlinear growth here means a core's bookkeeping is
+// outrunning its paper's bound. CI runs this with -benchmem and trips on
+// a 1e5→1e6 blowup.
 func BenchmarkChurnScaling(b *testing.B) {
 	for _, v := range []core.Variant{core.Amortized, core.Checkpointed, core.Deamortized} {
 		for _, vol := range []int64{10000, 100000, 1000000} {
@@ -157,6 +169,11 @@ func BenchmarkChurnScaling(b *testing.B) {
 				benchChurnTargetVolume(b, newVariant(b, v), vol)
 			})
 		}
+	}
+	for _, vol := range []int64{10000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("fcs/cells=%d", vol), func(b *testing.B) {
+			benchChurnTargetVolume(b, newFCS(b), vol)
+		})
 	}
 }
 
@@ -166,6 +183,7 @@ func BenchmarkChurnDeamortized(b *testing.B)  { benchChurnTarget(b, newVariant(b
 func BenchmarkChurnFirstFit(b *testing.B)     { benchChurnTarget(b, baseline.NewFirstFit(nil)) }
 func BenchmarkChurnBestFit(b *testing.B)      { benchChurnTarget(b, baseline.NewBestFit(nil)) }
 func BenchmarkChurnBuddy(b *testing.B)        { benchChurnTarget(b, baseline.NewBuddy(nil)) }
+func BenchmarkChurnFCS(b *testing.B)          { benchChurnTarget(b, newFCS(b)) }
 func BenchmarkChurnLogCompact(b *testing.B)   { benchChurnTarget(b, baseline.NewLogCompact(nil)) }
 func BenchmarkChurnClassGap(b *testing.B)     { benchChurnTarget(b, baseline.NewClassGap(nil)) }
 

@@ -9,7 +9,7 @@
 //	go test -run '^$' -bench BenchmarkChurnScaling -benchtime 20000x . | \
 //	    benchgate [-in -] [-out BENCH_ci_churn.json]
 //	    [-bench BenchmarkChurnScaling] [-small 100000] [-big 1000000]
-//	    [-gates amortized=4,checkpointed=4,deamortized=3]
+//	    [-gates amortized=4,checkpointed=4,deamortized=3,fcs=4]
 //
 // With -scaling, it instead gates parallel scaling of the sharded
 // front-end from a `-cpu` sweep: the gated scenario's throughput at
@@ -55,8 +55,8 @@ func run() int {
 		bench = flag.String("bench", "BenchmarkChurnScaling", "benchmark family to gate")
 		small = flag.Int64("small", 100_000, "small live-cell size")
 		big   = flag.Int64("big", 1_000_000, "big live-cell size")
-		gates = flag.String("gates", "amortized=4,checkpointed=4,deamortized=3",
-			"comma-separated variant=maxRatio limits")
+		gates = flag.String("gates", "amortized=4,checkpointed=4,deamortized=3,fcs=4",
+			"comma-separated core-or-variant=maxRatio limits")
 		scaling      = flag.Bool("scaling", false, "gate parallel scaling of a -cpu sweep instead of churn ratios")
 		scalingBench = flag.String("scalingBench", "BenchmarkShardedParallel", "scaling benchmark family")
 		scenario     = flag.String("scenario", "mixed", "scaling scenario the gate applies to")

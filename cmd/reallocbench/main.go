@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	reallocbench [-e E1|E2|...|E15|all] [-seed N] [-ops N] [-quick] [-list]
-//	            [-cpuprofile FILE] [-memprofile FILE] [-json] [-outdir DIR]
+//	reallocbench [-e E1|E2|...|E16|all] [-seed N] [-ops N] [-quick] [-list]
+//	            [-core pods14|fcs|auto] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-json] [-outdir DIR]
 //
 // With -json, each experiment additionally writes a machine-readable
 // BENCH_<id>.json (into -outdir, default ".") carrying its findings map,
@@ -36,10 +37,11 @@ func main() {
 // corrupt the very artifacts a profiled run exists to produce.
 func run() int {
 	var (
-		which      = flag.String("e", "all", "experiment to run (E1..E15 or 'all')")
+		which      = flag.String("e", "all", "experiment to run (E1..E16 or 'all')")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		ops        = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
 		quick      = flag.Bool("quick", false, "reduced scale for a fast pass")
+		coreName   = flag.String("core", "", "restrict cross-core experiments to one core (pods14, fcs, auto; empty = all)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to `file`")
@@ -82,7 +84,7 @@ func run() int {
 		}
 	}()
 
-	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick}
+	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick, Core: *coreName}
 	var targets []exp.Experiment
 	if strings.EqualFold(*which, "all") {
 		targets = exp.All()
@@ -110,7 +112,7 @@ func run() int {
 		}
 		rec := benchfmt.Record{
 			ID: e.ID, Title: e.Title, Claim: e.Claim,
-			Seed: *seed, Ops: *ops, Quick: *quick,
+			Seed: *seed, Ops: *ops, Core: *coreName, Quick: *quick,
 			Timestamp: start.UTC(), GoVersion: manifest.GoVersion,
 			Seconds:  time.Since(start).Seconds(),
 			Findings: res.Findings,

@@ -32,6 +32,43 @@
 //   - Deamortized: additionally caps the work any single request performs
 //     at O((1/ε)·w·f(1) + f(∆)).
 //
+// # Choosing a core
+//
+// The reallocation algorithm itself is pluggable: the facade drives an
+// engine boundary (internal/engine) with two cores behind it, selected
+// per structure with WithCore on either constructor, or globally with
+// the REALLOC_CORE environment variable ("pods14", "fcs", "auto") when
+// no explicit WithCore is given. Core reports the selection; unknown
+// names fail construction.
+//
+//   - CorePODS14 (default) is the reference implementation described
+//     above: every variant, footprint ≤ (1+ε)·V after every request,
+//     and reallocation cost O((1/ε)·log(1/ε))-competitive for every
+//     subadditive cost function.
+//   - CoreFCS is a successor algorithm in the style of Farach-Colton
+//     and Sheffield: objects are rounded up into geometric slot classes
+//     (factor g = 1+ε/4), each class's occupied slots form a packed
+//     prefix, a delete backfills its hole by swapping in the class's
+//     last occupant (one move of ≤ g·w volume), and a full repack runs
+//     only when the allocation frontier exceeds (1+ε)·V. The amortized
+//     moved volume is O(w/ε) per request — no log(1/ε) factor — but
+//     the bound is per-volume rather than cost-oblivious, and the core
+//     runs Amortized only: selecting Checkpointed or Deamortized with
+//     it fails construction.
+//   - CoreAutoSelect starts every structure on the reference core,
+//     observes the size distribution of the first ~2k inserts, and
+//     commits: a compact distribution (maximum within ~64× the median,
+//     where fixed-width slots waste little) migrates all live objects
+//     to CoreFCS in one flush-bracketed adoption pass; a heavy-tailed
+//     one stays on CorePODS14. All shards of a sharded reallocator
+//     share one decision, so the structure remains homogeneous.
+//
+// Whatever the core, the externally observable allocation semantics are
+// identical — the live id set, sizes, extents, and aggregate state; an
+// N-way differential oracle and a cross-core fuzz target
+// (internal/engine) pin this, and experiment E16 sweeps every core's
+// cost against ε on uniform, zipf, and adversarial workloads.
+//
 // # Concurrency and sharding
 //
 // A Reallocator is not safe for concurrent use unless built WithLocking,

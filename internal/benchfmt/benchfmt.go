@@ -28,6 +28,7 @@ type Record struct {
 	Claim     string             `json:"claim"`
 	Seed      uint64             `json:"seed"`
 	Ops       int                `json:"ops,omitempty"`
+	Core      string             `json:"core,omitempty"`
 	Quick     bool               `json:"quick"`
 	Timestamp time.Time          `json:"timestamp"`
 	GoVersion string             `json:"go_version"`

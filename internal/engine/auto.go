@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/engine/fcs"
+	"realloc/internal/trace"
+)
+
+// DefaultProbeOps is how many inserts an AutoSelect structure observes
+// before committing to a core.
+const DefaultProbeOps = 2048
+
+// autoPushEvery is how often (in ops) an auto engine folds its local size
+// histogram into the shared coordinator.
+const autoPushEvery = 32
+
+// AutoCoordinator accumulates the observed insert-size distribution
+// across one or more AutoSelect engines and makes a single core decision
+// for all of them. The sharded front-end hands the same coordinator to
+// every shard, so per-shard engines commit to the same core (each shard
+// switches lazily at its next operation, under its own lock). All methods
+// are safe for concurrent use.
+type AutoCoordinator struct {
+	probeOps int64
+
+	mu      sync.Mutex
+	buckets [64]int64 // log2 size histogram
+	count   int64
+	maxSize int64
+
+	done   atomic.Bool
+	choice atomic.Int32
+}
+
+// NewAutoCoordinator creates a coordinator that decides after probeOps
+// observed inserts; probeOps <= 0 means DefaultProbeOps.
+func NewAutoCoordinator(probeOps int64) *AutoCoordinator {
+	if probeOps <= 0 {
+		probeOps = DefaultProbeOps
+	}
+	return &AutoCoordinator{probeOps: probeOps}
+}
+
+// Decided returns the committed core, if the probe has concluded.
+func (c *AutoCoordinator) Decided() (Core, bool) {
+	if !c.done.Load() {
+		return PODS14, false
+	}
+	return Core(c.choice.Load()), true
+}
+
+// observe folds a local histogram into the global one and decides once
+// the probe threshold is crossed.
+func (c *AutoCoordinator) observe(buckets *[64]int64, count, maxSize int64) {
+	if count == 0 || c.done.Load() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done.Load() {
+		return
+	}
+	for i, n := range buckets {
+		c.buckets[i] += n
+	}
+	c.count += count
+	if maxSize > c.maxSize {
+		c.maxSize = maxSize
+	}
+	if c.count >= c.probeOps {
+		c.choice.Store(int32(decideCore(&c.buckets, c.count, c.maxSize)))
+		c.done.Store(true)
+	}
+}
+
+// decideCore picks a core from the observed size distribution. The FCS
+// core's slot rounding wastes at most a factor 1+ε/4 regardless of
+// sizes, but its swap-with-last delete moves an arbitrary same-class
+// object — on heavy-tailed distributions the largest class dominates
+// moved volume, while the PODS'14 layout keeps per-class locality. A
+// compact distribution (max within ~64× of the median) favors FCS's
+// strictly better amortized bound; a heavy tail keeps the reference
+// core.
+func decideCore(buckets *[64]int64, count, maxSize int64) Core {
+	if count == 0 {
+		return PODS14
+	}
+	var cum int64
+	half := (count + 1) / 2
+	p50b := 0
+	for i, n := range buckets {
+		cum += n
+		if cum >= half {
+			p50b = i
+			break
+		}
+	}
+	if bits.Len64(uint64(maxSize))-p50b <= 6 {
+		return FCS
+	}
+	return PODS14
+}
+
+// autoEngine probes the workload on the reference core, then commits the
+// structure to the coordinator's choice, migrating the live set if the
+// choice is FCS. Not safe for concurrent use (the coordinator is).
+type autoEngine struct {
+	inner     Engine
+	coord     *AutoCoordinator
+	cfg       Config
+	rec       trace.Recorder
+	nullRec   bool
+	committed bool
+
+	// local probe state, pushed to the coordinator every autoPushEvery ops
+	buckets   [64]int64
+	count     int64
+	maxSize   int64
+	sincePush int64
+}
+
+func newAutoEngine(cfg Config) (Engine, error) {
+	coord := cfg.Coordinator
+	if coord == nil {
+		coord = NewAutoCoordinator(0)
+	}
+	probeCfg := cfg
+	probeCfg.Core = PODS14
+	inner, err := newPODSEngine(probeCfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = trace.Null{}
+	}
+	_, nullRec := rec.(trace.Null)
+	return &autoEngine{
+		inner: inner, coord: coord, cfg: cfg, rec: rec, nullRec: nullRec,
+	}, nil
+}
+
+// checkCommit switches to the coordinator's core once it has decided.
+func (a *autoEngine) checkCommit() error {
+	if a.committed {
+		return nil
+	}
+	choice, ok := a.coord.Decided()
+	if !ok {
+		return nil
+	}
+	return a.commit(choice)
+}
+
+// commit migrates the live set to the chosen core. The migration appears
+// on the trace as one flush: KFlushStart, a KMove per live object (old
+// address to new), KFlushEnd — so observers tracking physical addresses
+// see a continuous history, and the cost meter prices the switch as
+// moved volume.
+func (a *autoEngine) commit(choice Core) error {
+	a.committed = true
+	if choice != FCS {
+		return nil
+	}
+	z, err := fcs.New(fcs.Config{
+		Epsilon:    a.cfg.Epsilon,
+		Recorder:   a.cfg.Recorder,
+		TrackCells: a.cfg.TrackCells,
+		Paranoid:   a.cfg.Paranoid,
+	})
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		id  ID
+		ext addrspace.Extent
+	}
+	var live []entry
+	a.inner.ForEach(func(id ID, ext addrspace.Extent) {
+		live = append(live, entry{id, ext})
+	})
+	if !a.nullRec {
+		a.rec.Record(trace.Event{
+			Kind: trace.KFlushStart, From: -1, Volume: a.inner.Volume(),
+		})
+	}
+	var moved int64
+	for _, e := range live {
+		if err := z.Adopt(e.id, e.ext.Size, e.ext.Start); err != nil {
+			return fmt.Errorf("engine: auto-select migration of %d: %w", e.id, err)
+		}
+		moved += e.ext.Size
+	}
+	if err := z.FinishAdoption(); err != nil {
+		return err
+	}
+	if !a.nullRec {
+		a.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: moved})
+	}
+	a.inner = fcsEngine{z}
+	return nil
+}
+
+// observe records one insert size and periodically pushes the local
+// histogram to the coordinator.
+func (a *autoEngine) observe(size int64) error {
+	a.buckets[bits.Len64(uint64(size))&63]++
+	a.count++
+	if size > a.maxSize {
+		a.maxSize = size
+	}
+	a.sincePush++
+	if a.sincePush < autoPushEvery {
+		return nil
+	}
+	a.push()
+	return a.checkCommit()
+}
+
+// push folds local probe state into the coordinator.
+func (a *autoEngine) push() {
+	a.coord.observe(&a.buckets, a.count, a.maxSize)
+	a.buckets = [64]int64{}
+	a.count, a.sincePush = 0, 0
+}
+
+func (a *autoEngine) Insert(id ID, size int64) error {
+	if err := a.checkCommit(); err != nil {
+		return err
+	}
+	if !a.committed {
+		if err := a.observe(size); err != nil {
+			return err
+		}
+	}
+	return a.inner.Insert(id, size)
+}
+
+func (a *autoEngine) Delete(id ID) error {
+	if err := a.checkCommit(); err != nil {
+		return err
+	}
+	return a.inner.Delete(id)
+}
+
+func (a *autoEngine) Extent(id ID) (addrspace.Extent, bool) { return a.inner.Extent(id) }
+func (a *autoEngine) Has(id ID) bool                        { return a.inner.Has(id) }
+func (a *autoEngine) SizeOf(id ID) (int64, bool)            { return a.inner.SizeOf(id) }
+func (a *autoEngine) Len() int                              { return a.inner.Len() }
+func (a *autoEngine) Volume() int64                         { return a.inner.Volume() }
+func (a *autoEngine) Footprint() int64                      { return a.inner.Footprint() }
+func (a *autoEngine) StructSize() int64                     { return a.inner.StructSize() }
+func (a *autoEngine) Delta() int64                          { return a.inner.Delta() }
+func (a *autoEngine) Epsilon() float64                      { return a.inner.Epsilon() }
+func (a *autoEngine) Flushes() int64                        { return a.inner.Flushes() }
+func (a *autoEngine) FlushActive() bool                     { return a.inner.FlushActive() }
+func (a *autoEngine) Drain() error                          { return a.inner.Drain() }
+func (a *autoEngine) CheckInvariants() error                { return a.inner.CheckInvariants() }
+
+func (a *autoEngine) ForEach(fn func(id ID, ext addrspace.Extent)) { a.inner.ForEach(fn) }
+
+// Kind reports the committed core — PODS14 while still probing.
+func (a *autoEngine) Kind() Core { return a.inner.Kind() }

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"realloc/internal/core"
+	"realloc/internal/trace"
+)
+
+// TestVariantEnumDrift pins the shared engine.Variant enum to the
+// reference core's private copy, value by value and name by name: the
+// two types must stay structurally identical, because the factory casts
+// between them.
+func TestVariantEnumDrift(t *testing.T) {
+	pairs := []struct {
+		eng Variant
+		ref core.Variant
+	}{
+		{Amortized, core.Amortized},
+		{Checkpointed, core.Checkpointed},
+		{Deamortized, core.Deamortized},
+	}
+	for _, p := range pairs {
+		if int(p.eng) != int(p.ref) {
+			t.Errorf("variant value drift: engine.%v = %d, core.%v = %d", p.eng, int(p.eng), p.ref, int(p.ref))
+		}
+		if p.eng.String() != p.ref.String() {
+			t.Errorf("variant name drift: engine %q vs core %q", p.eng, p.ref)
+		}
+		if core.Variant(p.eng).String() != p.eng.String() {
+			t.Errorf("casting engine.%v to core.Variant changes its name", p.eng)
+		}
+	}
+}
+
+// TestParseRoundTrip: every enum value parses back from its String.
+func TestParseRoundTrip(t *testing.T) {
+	for _, v := range []Variant{Amortized, Checkpointed, Deamortized} {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	for _, c := range []Core{PODS14, FCS, AutoSelect} {
+		got, err := ParseCore(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCore(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseVariant("nope"); err == nil || !strings.Contains(err.Error(), "unknown variant") {
+		t.Errorf("ParseVariant(nope) error = %v", err)
+	}
+	if _, err := ParseCore("nope"); err == nil || !strings.Contains(err.Error(), "unknown core") {
+		t.Errorf("ParseCore(nope) error = %v", err)
+	}
+}
+
+// TestSupportsMatrix: the reference core runs every variant; the
+// successor and auto cores are amortized-only, and New enforces it with
+// the canonical message.
+func TestSupportsMatrix(t *testing.T) {
+	for _, v := range []Variant{Amortized, Checkpointed, Deamortized} {
+		if !Supports(PODS14, v) {
+			t.Errorf("Supports(pods14, %v) = false", v)
+		}
+	}
+	for _, c := range []Core{FCS, AutoSelect} {
+		if !Supports(c, Amortized) {
+			t.Errorf("Supports(%v, amortized) = false", c)
+		}
+		for _, v := range []Variant{Checkpointed, Deamortized} {
+			if Supports(c, v) {
+				t.Errorf("Supports(%v, %v) = true", c, v)
+			}
+			_, err := New(Config{Core: c, Variant: v, Epsilon: 0.25})
+			if err == nil || !strings.Contains(err.Error(), "does not support the "+v.String()+" variant") {
+				t.Errorf("New(%v, %v) error = %v, want unsupported-variant message", c, v, err)
+			}
+		}
+	}
+	if Supports(Core(99), Amortized) || Supports(PODS14, Variant(99)) {
+		t.Error("Supports accepted out-of-range enum values")
+	}
+}
+
+// TestNewValidation: the factory rejects out-of-range enums and bad
+// epsilon with messages naming the valid values.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Core: Core(7), Epsilon: 0.25}); err == nil || !strings.Contains(err.Error(), "unknown core 7") {
+		t.Errorf("unknown core error = %v", err)
+	}
+	if _, err := New(Config{Variant: Variant(7), Epsilon: 0.25}); err == nil || !strings.Contains(err.Error(), "unknown variant 7") {
+		t.Errorf("unknown variant error = %v", err)
+	}
+	if _, err := New(Config{Epsilon: 0}); err == nil || !strings.Contains(err.Error(), "epsilon must be in (0, 1]") {
+		t.Errorf("epsilon error = %v", err)
+	}
+}
+
+// TestKind: each concrete engine reports its core.
+func TestKind(t *testing.T) {
+	if got := MustNew(Config{Epsilon: 0.25}).Kind(); got != PODS14 {
+		t.Errorf("default engine Kind = %v", got)
+	}
+	if got := MustNew(Config{Core: FCS, Epsilon: 0.25}).Kind(); got != FCS {
+		t.Errorf("fcs engine Kind = %v", got)
+	}
+	if got := MustNew(Config{Core: AutoSelect, Epsilon: 0.25}).Kind(); got != PODS14 {
+		t.Errorf("probing auto engine Kind = %v, want pods14 before commit", got)
+	}
+}
+
+// TestAutoCommitsToFCS: a compact size distribution makes the auto
+// engine commit to the successor core, migrating every live object with
+// its size intact and the migration visible as flush-bracketed moves.
+func TestAutoCommitsToFCS(t *testing.T) {
+	coord := NewAutoCoordinator(256)
+	m := trace.NewMetrics()
+	e := MustNew(Config{Core: AutoSelect, Epsilon: 0.25, Recorder: m, Coordinator: coord, Paranoid: true})
+	sizes := map[ID]int64{}
+	for i := 1; i <= 400; i++ {
+		size := int64(i%16 + 1)
+		if err := e.Insert(ID(i), size); err != nil {
+			t.Fatal(err)
+		}
+		sizes[ID(i)] = size
+	}
+	if got := e.Kind(); got != FCS {
+		t.Fatalf("auto engine Kind = %v after compact probe, want fcs", got)
+	}
+	var vol int64
+	for id, size := range sizes {
+		got, ok := e.SizeOf(id)
+		if !ok || got != size {
+			t.Fatalf("object %d lost or resized across migration: %d, %v", id, got, ok)
+		}
+		vol += size
+	}
+	if e.Volume() != vol || e.Len() != len(sizes) {
+		t.Fatalf("migrated state: vol %d len %d, want %d/%d", e.Volume(), e.Len(), vol, len(sizes))
+	}
+	if m.Flushes == 0 {
+		t.Error("migration emitted no flush bracket")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoStaysOnPODS: a heavy-tailed distribution keeps the reference
+// core.
+func TestAutoStaysOnPODS(t *testing.T) {
+	coord := NewAutoCoordinator(256)
+	e := MustNew(Config{Core: AutoSelect, Epsilon: 0.25, Coordinator: coord, Paranoid: true})
+	for i := 1; i <= 400; i++ {
+		size := int64(1)
+		if i%50 == 0 {
+			size = 1 << 20 // far beyond 64× the median of 1
+		}
+		if err := e.Insert(ID(i), size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Kind(); got != PODS14 {
+		t.Errorf("auto engine Kind = %v on heavy tail, want pods14", got)
+	}
+	if c, ok := coord.Decided(); !ok || c != PODS14 {
+		t.Errorf("coordinator decision = %v, %v", c, ok)
+	}
+}
+
+// TestSharedCoordinatorHomogeneity: engines sharing one coordinator all
+// commit to the same core, even those that contributed no observations.
+func TestSharedCoordinatorHomogeneity(t *testing.T) {
+	coord := NewAutoCoordinator(64)
+	a := MustNew(Config{Core: AutoSelect, Epsilon: 0.25, Coordinator: coord})
+	b := MustNew(Config{Core: AutoSelect, Epsilon: 0.25, Coordinator: coord})
+	for i := 1; i <= 128; i++ {
+		if err := a.Insert(ID(i), int64(i%8+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Kind() != FCS {
+		t.Fatalf("deciding engine Kind = %v, want fcs", a.Kind())
+	}
+	// b has never observed an insert; its first op adopts the decision.
+	if err := b.Insert(1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.Kind() != FCS {
+		t.Errorf("follower engine Kind = %v, want fcs via shared coordinator", b.Kind())
+	}
+}

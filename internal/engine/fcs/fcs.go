@@ -1,0 +1,527 @@
+// Package fcs implements the Farach-Colton–Sheffield successor
+// reallocator ("A Nearly Quadratic Improvement for Memory Reallocation",
+// 2024) behind the same substrate as the PODS'14 reference core.
+//
+// The algorithm trades the paper's hole-free region layout for geometric
+// size classes of fixed-width slots. Object sizes are rounded up to the
+// nearest slot capacity from the table cap_0 = 1, cap_{i+1} =
+// max(cap_i + 1, ⌊cap_i · g⌋) with g = 1 + ε/4, so slot waste is at most
+// a factor g per object. Each class keeps its occupied slots as a prefix
+// of its slot list:
+//
+//   - Insert places the object into the class's first free slot, or
+//     appends a fresh slot at the allocation frontier. No live object
+//     moves.
+//   - Delete frees the slot and restores the prefix invariant by moving
+//     the class's last occupied object into the hole — exactly one move
+//     of volume at most g·w for a size-w delete.
+//   - When the frontier drifts past (1+ε)·V, a rebuild repacks every
+//     slot contiguously (classes ascending). Each live object moves at
+//     most twice, so a rebuild costs at most 2V moved volume — and a
+//     rebuild is only reachable after Ω(ε·V) volume of deletes, because
+//     fresh-slot inserts grow the frontier by at most g·w < (1+ε)·w.
+//
+// Together these give amortized O(w/ε) moved volume per size-w update —
+// the successor paper's linear-in-1/ε regime, dropping the reference
+// algorithm's O((1/ε)·log(1/ε)) factor — while the footprint stays
+// within (1+ε)·V at every quiescent point. The price is slot slack: the
+// structure end is a g-factor rounding above the packed volume, where
+// the PODS'14 core packs payload regions hole-free.
+package fcs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"realloc/internal/addrspace"
+	"realloc/internal/trace"
+)
+
+// ID identifies an object; it is the caller's handle.
+type ID = addrspace.ID
+
+// Errors reported by the reallocator.
+var (
+	ErrBadSize   = errors.New("fcs: object size must be >= 1")
+	ErrBadID     = errors.New("fcs: object id must be non-zero")
+	ErrDuplicate = errors.New("fcs: object already exists")
+	ErrNotFound  = errors.New("fcs: no such object")
+	ErrEpsilon   = errors.New("fcs: epsilon must be in (0, 1]")
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Epsilon is the footprint slack target in (0, 1].
+	Epsilon float64
+	// Recorder receives the event stream; nil means trace.Null.
+	Recorder trace.Recorder
+	// TrackCells enables per-cell data stamps in the substrate.
+	TrackCells bool
+	// Paranoid re-validates every invariant after each request.
+	Paranoid bool
+}
+
+// object is the bookkeeping record for one live object.
+type object struct {
+	size  int64
+	class int // size-class index
+	idx   int // slot index within the class
+}
+
+// class is one geometric size class: a list of fixed-width slots whose
+// occupied entries form a prefix.
+type class struct {
+	starts []int64 // slot start addresses
+	ids    []ID    // ids[j] is the occupant of slot j, for j < occ
+	occ    int     // occupied-slot count; slots occ..len-1 are free
+}
+
+// Reallocator is the FCS successor reallocator. It is not safe for
+// concurrent use.
+type Reallocator struct {
+	cfg     Config
+	g       float64 // slot-capacity growth factor, 1 + ε/4
+	space   *addrspace.Space
+	rec     trace.Recorder
+	nullRec bool
+
+	objs    map[ID]*object
+	caps    []int64 // cap table, extended on demand
+	classes []class
+
+	allocEnd int64 // allocation frontier: end of the highest slot ever cut
+	vol      int64 // total live volume V
+	delta    int64 // largest size seen (the paper's ∆)
+	rebuilds int64 // full repacks run (reported as Flushes)
+
+	// rebuild scratch, reused across rebuilds.
+	planBuf []planEntry
+	objPool []*object
+}
+
+// planEntry is one object's rebuild assignment.
+type planEntry struct {
+	id     ID
+	size   int64
+	cur    int64 // current start
+	target int64 // packed start
+}
+
+// New creates a Reallocator.
+func New(cfg Config) (*Reallocator, error) {
+	if !(cfg.Epsilon > 0) || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrEpsilon, cfg.Epsilon)
+	}
+	opts := addrspace.RAM()
+	opts.TrackCells = cfg.TrackCells
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = trace.Null{}
+	}
+	_, nullRec := rec.(trace.Null)
+	return &Reallocator{
+		cfg:     cfg,
+		g:       1 + cfg.Epsilon/4,
+		space:   addrspace.New(opts),
+		rec:     rec,
+		nullRec: nullRec,
+		objs:    make(map[ID]*object),
+		caps:    []int64{1},
+	}, nil
+}
+
+// classFor returns the smallest class whose capacity fits size, growing
+// the cap table as needed.
+func (r *Reallocator) classFor(size int64) int {
+	for r.caps[len(r.caps)-1] < size {
+		last := r.caps[len(r.caps)-1]
+		next := int64(math.Floor(float64(last) * r.g))
+		if next <= last {
+			next = last + 1
+		}
+		r.caps = append(r.caps, next)
+	}
+	return sort.Search(len(r.caps), func(i int) bool { return r.caps[i] >= size })
+}
+
+// Volume returns the total live volume V.
+func (r *Reallocator) Volume() int64 { return r.vol }
+
+// Footprint returns the largest allocated address.
+func (r *Reallocator) Footprint() int64 { return r.space.MaxEnd() }
+
+// StructSize returns the allocation frontier: the end of the slot
+// structure including free slots and rounding slack.
+func (r *Reallocator) StructSize() int64 { return r.allocEnd }
+
+// Delta returns the largest object size seen.
+func (r *Reallocator) Delta() int64 { return r.delta }
+
+// Len returns the number of live objects.
+func (r *Reallocator) Len() int { return len(r.objs) }
+
+// Flushes returns how many full rebuilds have run; rebuilds are this
+// core's flush analogue.
+func (r *Reallocator) Flushes() int64 { return r.rebuilds }
+
+// FlushActive reports whether an incremental flush is mid-execution;
+// rebuilds are atomic, so it is always false.
+func (r *Reallocator) FlushActive() bool { return false }
+
+// Drain completes any in-progress flush; rebuilds are atomic, so it is a
+// no-op.
+func (r *Reallocator) Drain() error { return nil }
+
+// Epsilon returns the configured footprint slack target.
+func (r *Reallocator) Epsilon() float64 { return r.cfg.Epsilon }
+
+// Space exposes the substrate for tests.
+func (r *Reallocator) Space() *addrspace.Space { return r.space }
+
+// Extent returns the object's current physical placement.
+func (r *Reallocator) Extent(id ID) (addrspace.Extent, bool) {
+	return r.space.Extent(id)
+}
+
+// Has reports whether id is live.
+func (r *Reallocator) Has(id ID) bool {
+	_, ok := r.objs[id]
+	return ok
+}
+
+// SizeOf returns the size of object id.
+func (r *Reallocator) SizeOf(id ID) (int64, bool) {
+	if o, ok := r.objs[id]; ok {
+		return o.size, true
+	}
+	return 0, false
+}
+
+// ForEach visits live objects in address order.
+func (r *Reallocator) ForEach(fn func(id ID, ext addrspace.Extent)) {
+	r.space.ForEach(fn)
+}
+
+// emit sends an event to the recorder, filling in footprint and volume.
+func (r *Reallocator) emit(kind trace.Kind, id ID, size, from, to int64) {
+	if r.nullRec {
+		return
+	}
+	r.rec.Record(trace.Event{
+		Kind: kind, ID: int64(id), Size: size, From: from, To: to,
+		Footprint: r.space.MaxEnd(), Volume: r.vol,
+	})
+}
+
+// emitOpEnd closes a request.
+func (r *Reallocator) emitOpEnd() {
+	if r.nullRec {
+		return
+	}
+	r.rec.Record(trace.Event{
+		Kind: trace.KOpEnd, From: r.allocEnd,
+		Footprint: r.space.MaxEnd(), Volume: r.vol,
+	})
+}
+
+// Insert services 〈InsertObject, id, size〉. The object lands in its
+// class's first free slot, or in a fresh slot cut at the frontier; no
+// live object moves.
+func (r *Reallocator) Insert(id ID, size int64) error {
+	if size < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadSize, size)
+	}
+	if id == 0 {
+		return ErrBadID
+	}
+	if _, ok := r.objs[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicate, id)
+	}
+	c := r.classFor(size)
+	for len(r.classes) <= c {
+		r.classes = append(r.classes, class{})
+	}
+	cl := &r.classes[c]
+	if cl.occ == len(cl.starts) {
+		cl.starts = append(cl.starts, r.allocEnd)
+		cl.ids = append(cl.ids, 0)
+		r.allocEnd += r.caps[c]
+	}
+	start := cl.starts[cl.occ]
+	if err := r.space.Place(id, addrspace.Extent{Start: start, Size: size}); err != nil {
+		return err
+	}
+	obj := r.takeObject()
+	obj.size, obj.class, obj.idx = size, c, cl.occ
+	r.objs[id] = obj
+	cl.ids[cl.occ] = id
+	cl.occ++
+	r.vol += size
+	if size > r.delta {
+		r.delta = size
+	}
+	r.emit(trace.KInsert, id, size, 0, start)
+	if err := r.maybeRebuild(); err != nil {
+		return err
+	}
+	r.emitOpEnd()
+	return r.maybeCheck()
+}
+
+// Delete services 〈DeleteObject, id〉. The class's last occupied object
+// swaps into the hole, restoring the prefix invariant with one move.
+func (r *Reallocator) Delete(id ID) error {
+	obj, ok := r.objs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	cl := &r.classes[obj.class]
+	if err := r.space.Remove(id); err != nil {
+		return err
+	}
+	r.vol -= obj.size
+	delete(r.objs, id)
+	r.emit(trace.KDelete, id, obj.size, 0, 0)
+	last := cl.occ - 1
+	if obj.idx != last {
+		moverID := cl.ids[last]
+		mover := r.objs[moverID]
+		from, to := cl.starts[last], cl.starts[obj.idx]
+		if err := r.space.Move(moverID, to); err != nil {
+			return err
+		}
+		mover.idx = obj.idx
+		cl.ids[obj.idx] = moverID
+		r.emit(trace.KMove, moverID, mover.size, from, to)
+	}
+	cl.ids[last] = 0
+	cl.occ = last
+	r.putObject(obj)
+	if err := r.maybeRebuild(); err != nil {
+		return err
+	}
+	r.emitOpEnd()
+	return r.maybeCheck()
+}
+
+// overLimit reports whether the frontier has drifted past (1+ε)·V.
+func (r *Reallocator) overLimit() bool {
+	if r.vol == 0 {
+		return r.allocEnd > 0
+	}
+	return float64(r.allocEnd) > (1+r.cfg.Epsilon)*float64(r.vol)
+}
+
+// maybeRebuild repacks the whole structure when the frontier exceeds the
+// footprint budget. The repacked frontier is at most g·V ≤ (1+ε)·V, so
+// one rebuild always restores the invariant.
+func (r *Reallocator) maybeRebuild() error {
+	if !r.overLimit() {
+		return nil
+	}
+	return r.rebuild()
+}
+
+// rebuild repacks every occupied slot contiguously from address 0,
+// classes ascending. Every object is first parked in the staging area
+// past the old frontier, then moved to its packed slot, so no move ever
+// lands on a live extent; each object moves at most twice. Objects whose
+// slot does not change address stay put.
+func (r *Reallocator) rebuild() error {
+	plan := r.planBuf[:0]
+	var cursor int64
+	for c := range r.classes {
+		cl := &r.classes[c]
+		for j := 0; j < cl.occ; j++ {
+			id := cl.ids[j]
+			plan = append(plan, planEntry{
+				id:     id,
+				size:   r.objs[id].size,
+				cur:    cl.starts[j],
+				target: cursor,
+			})
+			cl.starts[j] = cursor
+			cursor += r.caps[c]
+		}
+		// Free slots are forgotten; their space is reclaimed wholesale.
+		cl.starts = cl.starts[:cl.occ]
+		cl.ids = cl.ids[:cl.occ]
+	}
+	r.planBuf = plan[:0]
+
+	r.rebuilds++
+	var moved int64
+	if !r.nullRec {
+		r.rec.Record(trace.Event{
+			Kind: trace.KFlushStart, From: int64(len(r.classes)), Volume: r.vol,
+		})
+	}
+	staging := r.allocEnd
+	for i := range plan {
+		e := &plan[i]
+		if e.cur == e.target {
+			continue
+		}
+		if err := r.space.Move(e.id, staging); err != nil {
+			return fmt.Errorf("fcs: rebuild staging move of %d: %w", e.id, err)
+		}
+		r.emit(trace.KMove, e.id, e.size, e.cur, staging)
+		e.cur = staging
+		staging += e.size
+		moved += e.size
+	}
+	for i := range plan {
+		e := &plan[i]
+		if e.cur == e.target {
+			continue
+		}
+		if err := r.space.Move(e.id, e.target); err != nil {
+			return fmt.Errorf("fcs: rebuild packing move of %d: %w", e.id, err)
+		}
+		r.emit(trace.KMove, e.id, e.size, e.cur, e.target)
+		moved += e.size
+	}
+	r.allocEnd = cursor
+	if !r.nullRec {
+		r.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: moved})
+	}
+	return nil
+}
+
+// Adopt ingests one live object during an engine switch: the placement
+// happens exactly like Insert, but the recorder sees a KMove from the
+// object's address in the previous engine, preserving address-tracking
+// continuity for observers. The caller brackets the adoption stream with
+// flush events and runs the rebuild check once at the end.
+func (r *Reallocator) Adopt(id ID, size int64, from int64) error {
+	if size < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadSize, size)
+	}
+	if id == 0 {
+		return ErrBadID
+	}
+	if _, ok := r.objs[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicate, id)
+	}
+	c := r.classFor(size)
+	for len(r.classes) <= c {
+		r.classes = append(r.classes, class{})
+	}
+	cl := &r.classes[c]
+	if cl.occ == len(cl.starts) {
+		cl.starts = append(cl.starts, r.allocEnd)
+		cl.ids = append(cl.ids, 0)
+		r.allocEnd += r.caps[c]
+	}
+	start := cl.starts[cl.occ]
+	if err := r.space.Place(id, addrspace.Extent{Start: start, Size: size}); err != nil {
+		return err
+	}
+	obj := r.takeObject()
+	obj.size, obj.class, obj.idx = size, c, cl.occ
+	r.objs[id] = obj
+	cl.ids[cl.occ] = id
+	cl.occ++
+	r.vol += size
+	if size > r.delta {
+		r.delta = size
+	}
+	r.emit(trace.KMove, id, size, from, start)
+	return nil
+}
+
+// FinishAdoption runs the rebuild check after a batch of Adopt calls.
+// Pure adoption cuts only fresh slots, so the frontier is at most g·V
+// and no rebuild fires; the check is kept for safety.
+func (r *Reallocator) FinishAdoption() error { return r.maybeRebuild() }
+
+// takeObject returns a recycled object record, or a fresh one.
+func (r *Reallocator) takeObject() *object {
+	if n := len(r.objPool); n > 0 {
+		o := r.objPool[n-1]
+		r.objPool = r.objPool[:n-1]
+		return o
+	}
+	return new(object)
+}
+
+// putObject recycles a fully removed object's record.
+func (r *Reallocator) putObject(o *object) {
+	*o = object{}
+	r.objPool = append(r.objPool, o)
+}
+
+// maybeCheck runs CheckInvariants when Paranoid is set.
+func (r *Reallocator) maybeCheck() error {
+	if !r.cfg.Paranoid {
+		return nil
+	}
+	return r.CheckInvariants()
+}
+
+// CheckInvariants validates the full structure: the substrate, the slot
+// geometry, the prefix invariant, and the footprint budget.
+func (r *Reallocator) CheckInvariants() error {
+	if err := r.space.Verify(); err != nil {
+		return err
+	}
+	if v := r.space.Volume(); v != r.vol {
+		return fmt.Errorf("fcs: volume drift: bookkeeping %d, substrate %d", r.vol, v)
+	}
+	if n := r.space.Len(); n != len(r.objs) {
+		return fmt.Errorf("fcs: object count drift: bookkeeping %d, substrate %d", len(r.objs), n)
+	}
+	live := 0
+	type interval struct{ start, end int64 }
+	var slots []interval
+	for c := range r.classes {
+		cl := &r.classes[c]
+		cap := r.caps[c]
+		if cl.occ > len(cl.starts) {
+			return fmt.Errorf("fcs: class %d: occ %d exceeds %d slots", c, cl.occ, len(cl.starts))
+		}
+		for j, start := range cl.starts {
+			if start < 0 || start+cap > r.allocEnd {
+				return fmt.Errorf("fcs: class %d slot %d [%d,%d) outside frontier %d", c, j, start, start+cap, r.allocEnd)
+			}
+			slots = append(slots, interval{start, start + cap})
+			if j >= cl.occ {
+				continue
+			}
+			live++
+			id := cl.ids[j]
+			obj, ok := r.objs[id]
+			if !ok {
+				return fmt.Errorf("fcs: class %d slot %d holds unknown id %d", c, j, id)
+			}
+			if obj.class != c || obj.idx != j {
+				return fmt.Errorf("fcs: object %d thinks it is at class %d slot %d, found at class %d slot %d", id, obj.class, obj.idx, c, j)
+			}
+			if obj.size > cap || (c > 0 && obj.size <= r.caps[c-1]) {
+				return fmt.Errorf("fcs: object %d size %d misclassified into class %d (cap %d)", id, obj.size, c, cap)
+			}
+			ext, ok := r.space.Extent(id)
+			if !ok || ext.Start != start || ext.Size != obj.size {
+				return fmt.Errorf("fcs: object %d extent %v disagrees with slot start %d size %d", id, ext, start, obj.size)
+			}
+		}
+	}
+	if live != len(r.objs) {
+		return fmt.Errorf("fcs: %d objects in slots, %d registered", live, len(r.objs))
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].start < slots[j].start })
+	for i := 1; i < len(slots); i++ {
+		if slots[i].start < slots[i-1].end {
+			return fmt.Errorf("fcs: slots overlap: [..,%d) and [%d,..)", slots[i-1].end, slots[i].start)
+		}
+	}
+	if r.overLimit() {
+		return fmt.Errorf("fcs: frontier %d exceeds (1+%v)·%d", r.allocEnd, r.cfg.Epsilon, r.vol)
+	}
+	if f := r.space.MaxEnd(); f > r.allocEnd {
+		return fmt.Errorf("fcs: footprint %d beyond frontier %d", f, r.allocEnd)
+	}
+	return nil
+}

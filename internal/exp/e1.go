@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/stats"
 	"realloc/internal/workload"
 )
@@ -17,7 +17,7 @@ func E1(cfg Config) (*Result, error) {
 	ops := cfg.ops(20000)
 	table := stats.NewTable("variant", "eps", "bound 1+eps", "max struct/V", "max footprint/V", "moves/op", "flushes")
 	var series []string
-	for _, variant := range []core.Variant{core.Amortized, core.Checkpointed, core.Deamortized} {
+	for _, variant := range []engine.Variant{engine.Amortized, engine.Checkpointed, engine.Deamortized} {
 		for _, eps := range []float64{0.5, 0.25, 0.1, 0.05} {
 			r, m, err := newCore(variant, eps)
 			if err != nil {
@@ -32,7 +32,7 @@ func E1(cfg Config) (*Result, error) {
 			if err := drive(r, churn, ops); err != nil {
 				return nil, err
 			}
-			if variant == core.Amortized {
+			if variant == engine.Amortized {
 				ratios := make([]float64, 0, len(m.Series))
 				for _, s := range m.Series {
 					if s.Volume > 0 {

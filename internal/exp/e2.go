@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/stats"
 	"realloc/internal/workload"
 )
@@ -19,7 +19,7 @@ func E2(cfg Config) (*Result, error) {
 	ops := cfg.ops(20000)
 	table := stats.NewTable("eps", "cost f", "alloc cost", "realloc cost", "ratio", "normalized")
 	for _, eps := range []float64{0.5, 0.25, 0.1, 0.05} {
-		r, m, err := newCore(core.Amortized, eps)
+		r, m, err := newCore(engine.Amortized, eps)
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/stats"
 	"realloc/internal/workload"
 )
@@ -18,7 +18,7 @@ func E6(cfg Config) (*Result, error) {
 	ops := cfg.ops(20000)
 	table := stats.NewTable("eps", "1/eps'", "flushes", "ckpts total", "ckpts/flush (mean)", "ckpts/flush (max)", "transient slack / delta")
 	for _, eps := range []float64{0.5, 0.25, 0.1, 0.05} {
-		r, m, err := newCore(core.Checkpointed, eps)
+		r, m, err := newCore(engine.Checkpointed, eps)
 		if err != nil {
 			return nil, err
 		}

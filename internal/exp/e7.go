@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/stats"
 	"realloc/internal/workload"
 )
@@ -16,7 +16,7 @@ func E7(cfg Config) (*Result, error) {
 	res := &Result{ID: "E7", Title: "Deamortization caps per-request work", Findings: map[string]float64{}}
 	ops := cfg.ops(15000)
 	table := stats.NewTable("variant", "eps", "p50 op volume", "p99 op volume", "max op volume", "bound (4/eps')w+delta", "violations", "cost ratio (unit)")
-	for _, variant := range []core.Variant{core.Checkpointed, core.Deamortized} {
+	for _, variant := range []engine.Variant{engine.Checkpointed, engine.Deamortized} {
 		eps := 0.25
 		r, m, err := newCore(variant, eps)
 		if err != nil {
@@ -51,7 +51,7 @@ func E7(cfg Config) (*Result, error) {
 			moved := m.MovedVolume - prevMoved
 			prevMoved = m.MovedVolume
 			perOp = append(perOp, float64(moved))
-			if variant == core.Deamortized {
+			if variant == engine.Deamortized {
 				// Ops carry w for inserts and deletes alike. The bound has
 				// an extra +Delta of slack: moving one indivisible object
 				// can overshoot the quota, and the flush-triggering insert
@@ -75,7 +75,7 @@ func E7(cfg Config) (*Result, error) {
 		unitRatio := m.Meter.Ratio("unit")
 		boundCell := "n/a"
 		violCell := "n/a"
-		if variant == core.Deamortized {
+		if variant == engine.Deamortized {
 			boundCell = stats.FormatFloat(worstBound)
 			violCell = fmt.Sprintf("%d", violations)
 			res.Findings["deamortized/maxOpVolume"] = pmax

@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: one function per experiment in
-// EXPERIMENTS.md (E1–E15), each regenerating the table or figure that
+// EXPERIMENTS.md (E1–E16), each regenerating the table or figure that
 // validates a claim of the paper. The harness is shared by
 // cmd/reallocbench, the root benchmark suite, and the integration tests
 // that assert the *shape* of each result (who wins, by what order, where
@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/trace"
 	"realloc/internal/workload"
 )
@@ -25,6 +26,23 @@ type Config struct {
 	Ops int
 	// Quick shrinks workloads for smoke tests and -short mode.
 	Quick bool
+	// Core optionally restricts cross-core experiments (E16) to a single
+	// core, named as engine.ParseCore understands ("pods14", "fcs",
+	// "auto"). Empty means every core.
+	Core string
+}
+
+// cores resolves the Core filter against the full panel.
+func (c Config) cores() ([]engine.Core, error) {
+	all := []engine.Core{engine.PODS14, engine.FCS, engine.AutoSelect}
+	if c.Core == "" {
+		return all, nil
+	}
+	ec, err := engine.ParseCore(c.Core)
+	if err != nil {
+		return nil, err
+	}
+	return []engine.Core{ec}, nil
 }
 
 func (c Config) ops(def int) int {
@@ -89,6 +107,8 @@ func All() []Experiment {
 			"Per-allocator guarantees survive migration: rebalancing levels a zipf-skewed volume (spread <= 2x vs > 4x static) and recovers parallel throughput, keeping footprint <= (1+eps)*V", E14},
 		{"E15", "Lock-free front-end parallel scaling",
 			"Uncontended operations touch no shared mutable cache line except their own shard: routing is one atomic load, per-object reads take only a shard read lock, aggregate reads take none", E15},
+		{"E16", "Cost vs epsilon across reallocation cores",
+			"Engine boundary: the PODS'14 reference, the FCS successor, and the auto-selecting engine all hold footprint <= (1+eps)*V at quiescence on uniform, zipf, and adversarial workloads, each inside its own per-core cost bound", E16},
 	}
 }
 
@@ -114,11 +134,22 @@ func RunAll(cfg Config, w io.Writer) error {
 	return nil
 }
 
-// newCore builds a reallocator wired to fresh metrics.
-func newCore(variant core.Variant, eps float64) (*core.Reallocator, *trace.Metrics, error) {
+// newCore builds a reference-core reallocator wired to fresh metrics.
+// Variants are named by the shared engine enum; the cast to the core's
+// private copy is pinned by internal/engine's drift test.
+func newCore(variant engine.Variant, eps float64) (*core.Reallocator, *trace.Metrics, error) {
 	m := trace.NewMetrics()
-	r, err := core.New(core.Config{Epsilon: eps, Variant: variant, Recorder: m})
+	r, err := core.New(core.Config{Epsilon: eps, Variant: core.Variant(variant), Recorder: m})
 	return r, m, err
+}
+
+// newEngine builds any core behind the engine boundary, wired to fresh
+// metrics. Cross-core experiments (E16) go through here so they exercise
+// exactly the dispatch the public facade uses.
+func newEngine(c engine.Core, eps float64) (engine.Engine, *trace.Metrics, error) {
+	m := trace.NewMetrics()
+	e, err := engine.New(engine.Config{Core: c, Epsilon: eps, Recorder: m})
+	return e, m, err
 }
 
 // drive replays n churn ops and drains.
@@ -127,6 +158,14 @@ func drive(r *core.Reallocator, s workload.Stream, n int) error {
 		return err
 	}
 	return r.Drain()
+}
+
+// driveEngine replays n churn ops into any engine and drains.
+func driveEngine(e engine.Engine, s workload.Stream, n int) error {
+	if _, err := workload.Drive(e, s, n); err != nil {
+		return err
+	}
+	return e.Drain()
 }
 
 // findingsKeys returns sorted keys (stable rendering helpers).

@@ -366,3 +366,67 @@ func TestE15Shape(t *testing.T) {
 		}
 	}
 }
+
+// TestE16Shape asserts the cross-core sweep's bounds: every core keeps
+// the quiescent footprint ratio within 1+eps on every workload, and the
+// successor core's cost column stays within its O(1/eps) budget. The
+// Core filter must restrict the panel and reject unknown names.
+func TestE16Shape(t *testing.T) {
+	res, err := E16(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []string{"uniform", "zipf", "adversarial"} {
+		for _, c := range []string{"pods14", "fcs", "auto"} {
+			for _, eps := range []string{"0.5", "0.25", "0.1"} {
+				key := wl + "/" + c + "/" + eps
+				ratio, ok := res.Findings[key+"/quiescentRatio"]
+				if !ok {
+					t.Fatalf("missing finding %s/quiescentRatio", key)
+				}
+				var bound float64
+				switch eps {
+				case "0.5":
+					bound = 1.5
+				case "0.25":
+					bound = 1.25
+				case "0.1":
+					bound = 1.1
+				}
+				if ratio > bound {
+					t.Errorf("%s: quiescent ratio %v over %v", key, ratio, bound)
+				}
+				if c == "fcs" {
+					var e float64
+					switch eps {
+					case "0.5":
+						e = 0.5
+					case "0.25":
+						e = 0.25
+					case "0.1":
+						e = 0.1
+					}
+					if cost := res.Findings[key+"/costRatio"]; cost > 10/e+4 {
+						t.Errorf("%s: cost ratio %v over O(1/eps) budget %v", key, cost, 10/e+4)
+					}
+				}
+			}
+		}
+	}
+
+	cfg := quickCfg()
+	cfg.Core = "fcs"
+	only, err := E16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range only.Findings {
+		if strings.Contains(key, "/pods14/") || strings.Contains(key, "/auto/") {
+			t.Errorf("Core=fcs run still produced %s", key)
+		}
+	}
+	cfg.Core = "bogus"
+	if _, err := E16(cfg); err == nil || !strings.Contains(err.Error(), "unknown core") {
+		t.Errorf("Core=bogus error = %v, want unknown core", err)
+	}
+}

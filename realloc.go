@@ -3,10 +3,11 @@ package realloc
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"realloc/internal/addrspace"
-	"realloc/internal/core"
+	"realloc/internal/engine"
 	"realloc/internal/trace"
 )
 
@@ -20,7 +21,28 @@ const (
 	Deamortized
 )
 
-func (v Variant) String() string { return core.Variant(v).String() }
+func (v Variant) String() string { return engine.Variant(v).String() }
+
+// Core selects the reallocation algorithm family; see the "Choosing a
+// core" section of the package documentation.
+type Core int
+
+// Available cores.
+const (
+	// CorePODS14 is the reference core: the PODS'14 cost-oblivious
+	// reallocator, supporting all three variants.
+	CorePODS14 Core = iota
+	// CoreFCS is the Farach-Colton–Sheffield 2024 successor core:
+	// amortized O(w/ε) moved volume per size-w update, Amortized variant
+	// only.
+	CoreFCS
+	// CoreAutoSelect probes the workload on the reference core and then
+	// commits each structure to the core the observed size distribution
+	// favors. Amortized variant only.
+	CoreAutoSelect
+)
+
+func (c Core) String() string { return engine.Core(c).String() }
 
 // Extent is a placement: the half-open cell interval
 // [Start, Start+Size).
@@ -39,6 +61,8 @@ type config struct {
 	epsilon     float64
 	epsPrime    float64
 	variant     Variant
+	core        Core
+	coreSet     bool
 	observer    func(Event)
 	metrics     bool
 	paranoid    bool
@@ -50,12 +74,61 @@ type config struct {
 }
 
 // validateEpsilon enforces the public contract at the constructor
-// boundary; the negated comparison also rejects NaN.
+// boundary. The message is engine.ValidateEpsilon's (which also rejects
+// NaN) behind the package prefix, so the facade and the engine layer
+// cannot drift.
 func validateEpsilon(eps float64) error {
-	if !(eps > 0) || eps > 1 {
-		return fmt.Errorf("realloc: epsilon must be in (0, 1], got %g", eps)
+	if err := engine.ValidateEpsilon(eps); err != nil {
+		return fmt.Errorf("realloc: %w", err)
 	}
 	return nil
+}
+
+// resolveCore picks the engine core a constructor builds: an explicit
+// WithCore wins and is validated strictly; otherwise the REALLOC_CORE
+// environment variable applies (unknown names are an error, but a core
+// that cannot run the requested variant silently falls back to the
+// reference core, so a test matrix exporting REALLOC_CORE=fcs leaves
+// Checkpointed and Deamortized structures on the core that supports
+// them); otherwise the reference core.
+func (c *config) resolveCore() (engine.Core, error) {
+	if c.coreSet {
+		if err := engine.ValidateCombination(engine.Core(c.core), engine.Variant(c.variant)); err != nil {
+			return 0, fmt.Errorf("realloc: %w", err)
+		}
+		return engine.Core(c.core), nil
+	}
+	if env := os.Getenv("REALLOC_CORE"); env != "" {
+		ec, err := engine.ParseCore(env)
+		if err != nil {
+			return 0, fmt.Errorf("realloc: REALLOC_CORE: %w", err)
+		}
+		if !engine.Supports(ec, engine.Variant(c.variant)) {
+			return engine.PODS14, nil
+		}
+		return ec, nil
+	}
+	return engine.PODS14, nil
+}
+
+// buildEngine constructs one engine from the resolved core and this
+// config; coord shares an AutoSelect decision across shards (nil for the
+// single-structure facade).
+func (c *config) buildEngine(ec engine.Core, rec trace.Recorder, coord *engine.AutoCoordinator) (engine.Engine, error) {
+	e, err := engine.New(engine.Config{
+		Core:        ec,
+		Variant:     engine.Variant(c.variant),
+		Epsilon:     c.epsilon,
+		EpsPrime:    c.epsPrime,
+		Recorder:    rec,
+		Paranoid:    c.paranoid,
+		SerialFlush: c.serialFlush,
+		Coordinator: coord,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("realloc: %w", err)
+	}
+	return e, nil
 }
 
 // validateSize is the one definition of the public size contract, shared
@@ -75,6 +148,15 @@ func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps 
 
 // WithVariant selects the algorithm variant. Default Amortized.
 func WithVariant(v Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithCore selects the reallocation core. Default CorePODS14; when the
+// option is absent, the REALLOC_CORE environment variable ("pods14",
+// "fcs", "auto") picks the core instead wherever the requested variant
+// allows it. An explicit core that cannot run the requested variant is a
+// constructor error.
+func WithCore(c Core) Option {
+	return func(cfg *config) { cfg.core, cfg.coreSet = c, true }
+}
 
 // WithObserver registers a callback receiving every placement event —
 // the hook a block translation layer uses to track physical addresses.
@@ -124,7 +206,7 @@ func WithRebalance(p RebalancePolicy) Option {
 // Reallocator is the public handle for the cost-oblivious storage
 // reallocator.
 type Reallocator struct {
-	inner   *core.Reallocator
+	inner   engine.Engine
 	metrics *trace.Metrics
 	mu      *sync.Mutex // non-nil iff WithLocking
 }
@@ -176,15 +258,12 @@ func New(opts ...Option) (*Reallocator, error) {
 	if err := validateEpsilon(cfg.epsilon); err != nil {
 		return nil, err
 	}
+	ec, err := cfg.resolveCore()
+	if err != nil {
+		return nil, err
+	}
 	rec, m := newRecorder(&cfg, 0)
-	inner, err := core.New(core.Config{
-		Epsilon:     cfg.epsilon,
-		EpsPrime:    cfg.epsPrime,
-		Variant:     core.Variant(cfg.variant),
-		Recorder:    rec,
-		Paranoid:    cfg.paranoid,
-		SerialFlush: cfg.serialFlush,
-	})
+	inner, err := cfg.buildEngine(ec, rec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +334,14 @@ func (r *Reallocator) Delta() int64 {
 func (r *Reallocator) Epsilon() float64 {
 	defer r.lock()()
 	return r.inner.Epsilon()
+}
+
+// Core reports the core the reallocator is running. For CoreAutoSelect
+// it reports the committed core — CorePODS14 while the probe is still
+// observing the workload.
+func (r *Reallocator) Core() Core {
+	defer r.lock()()
+	return Core(r.inner.Kind())
 }
 
 // Flushes returns how many buffer flushes have run.

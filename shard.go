@@ -7,8 +7,8 @@ import (
 	"sync/atomic"
 
 	"realloc/internal/addrspace"
-	"realloc/internal/core"
 	"realloc/internal/cost"
+	"realloc/internal/engine"
 	"realloc/internal/rebalance"
 	"realloc/internal/shardhash"
 	"realloc/internal/trace"
@@ -100,7 +100,7 @@ type shard struct {
 	// within a shard readers never block readers; migrations take the
 	// write side of both affected shards.
 	mu      sync.RWMutex
-	inner   *core.Reallocator
+	inner   engine.Engine
 	metrics *trace.Metrics
 
 	_ [64]byte // keep the lock word off the mirror block's cache line
@@ -342,16 +342,20 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 		b := make([]cost.Line, 0, 8)
 		return &b
 	}
+	ec, err := cfg.resolveCore()
+	if err != nil {
+		return nil, err
+	}
+	// One coordinator serves every shard, so an AutoSelect fleet makes a
+	// single core decision from the pooled size distribution; each shard
+	// adopts it lazily at its next operation, under its own lock.
+	var coord *engine.AutoCoordinator
+	if ec == engine.AutoSelect {
+		coord = engine.NewAutoCoordinator(0)
+	}
 	for i := range s.shards {
 		rec, m := newRecorder(&cfg, i)
-		inner, err := core.New(core.Config{
-			Epsilon:     cfg.epsilon,
-			EpsPrime:    cfg.epsPrime,
-			Variant:     core.Variant(cfg.variant),
-			Recorder:    rec,
-			Paranoid:    cfg.paranoid,
-			SerialFlush: cfg.serialFlush,
-		})
+		inner, err := cfg.buildEngine(ec, rec, coord)
 		if err != nil {
 			return nil, err
 		}
@@ -548,6 +552,18 @@ func (s *ShardedReallocator) Delta() int64 {
 
 // Epsilon returns the configured footprint slack (shared by all shards).
 func (s *ShardedReallocator) Epsilon() float64 { return s.epsilon }
+
+// Core reports the core the shards are running. With CoreAutoSelect the
+// decision is shared — every shard commits to the same core — but each
+// shard adopts it at its next operation, so shard 0's view (reported
+// here) may briefly lead shards that have not operated since the
+// decision.
+func (s *ShardedReallocator) Core() Core {
+	sh := s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return Core(sh.inner.Kind())
+}
 
 // Flushes returns the total buffer flushes summed over shards, lock-free
 // from the per-shard mirrors.
