@@ -21,6 +21,7 @@ import (
 	"realloc/internal/core"
 	"realloc/internal/engine"
 	"realloc/internal/exp"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 	"realloc/internal/workload"
 )
@@ -186,6 +187,30 @@ func BenchmarkChurnBuddy(b *testing.B)        { benchChurnTarget(b, baseline.New
 func BenchmarkChurnFCS(b *testing.B)          { benchChurnTarget(b, newFCS(b)) }
 func BenchmarkChurnLogCompact(b *testing.B)   { benchChurnTarget(b, baseline.NewLogCompact(nil)) }
 func BenchmarkChurnClassGap(b *testing.B)     { benchChurnTarget(b, baseline.NewClassGap(nil)) }
+
+// BenchmarkChurnTelemetry prices the telemetry layer itself: the same
+// steady-state churn through the public facade with telemetry off and
+// on, for an amortized and a deamortized core. cmd/benchgate's
+// -overhead lane compares each on/off pair and fails CI when arming
+// telemetry costs more than 10% — the recording budget is two atomic
+// adds plus two clock reads per op.
+func BenchmarkChurnTelemetry(b *testing.B) {
+	for _, v := range []realloc.Variant{realloc.Amortized, realloc.Deamortized} {
+		for _, mode := range []string{"off", "on"} {
+			b.Run(fmt.Sprintf("%s/%s", v, mode), func(b *testing.B) {
+				opts := []realloc.Option{realloc.WithEpsilon(0.25), realloc.WithVariant(v)}
+				if mode == "on" {
+					opts = append(opts, realloc.WithTelemetry(telemetry.NewRegistry()))
+				}
+				r, err := realloc.New(opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchChurnTargetVolume(b, publicAdapter{r}, 100000)
+			})
+		}
+	}
+}
 
 // concurrentTarget is the surface the parallel churn benchmarks drive;
 // the locked single-core facade and the sharded facade both satisfy it.

@@ -24,7 +24,16 @@
 //	    [-scenario mixed] [-procsLow 1] [-procsHigh 8] [-minSpeedup 4]
 //	    [-out BENCH_ci_scaling.json]
 //
-// Either gate fails (exit 1) when its ratio is out of bounds or when
+// With -overhead, it gates the telemetry layer's cost: every
+// <variant>/on result of the overhead benchmark must be within
+// -maxOverhead (default 1.10, i.e. ≤10% slower) of its <variant>/off
+// twin, and a pair missing either half fails:
+//
+//	go test -run '^$' -bench BenchmarkChurnTelemetry -benchtime 30000x . | \
+//	    benchgate -overhead [-overheadBench BenchmarkChurnTelemetry]
+//	    [-maxOverhead 1.10] [-out BENCH_ci_overhead.json]
+//
+// Any gate fails (exit 1) when its ratio is out of bounds or when
 // expected results are missing — a silent benchmark rename must not
 // pass the gate.
 package main
@@ -57,12 +66,15 @@ func run() int {
 		big   = flag.Int64("big", 1_000_000, "big live-cell size")
 		gates = flag.String("gates", "amortized=4,checkpointed=4,deamortized=3,fcs=4",
 			"comma-separated core-or-variant=maxRatio limits")
-		scaling      = flag.Bool("scaling", false, "gate parallel scaling of a -cpu sweep instead of churn ratios")
-		scalingBench = flag.String("scalingBench", "BenchmarkShardedParallel", "scaling benchmark family")
-		scenario     = flag.String("scenario", "mixed", "scaling scenario the gate applies to")
-		procsLow     = flag.Int("procsLow", 1, "baseline GOMAXPROCS of the scaling gate")
-		procsHigh    = flag.Int("procsHigh", 8, "contended GOMAXPROCS of the scaling gate")
-		minSpeedup   = flag.Float64("minSpeedup", 4, "required procsHigh/procsLow throughput ratio")
+		scaling       = flag.Bool("scaling", false, "gate parallel scaling of a -cpu sweep instead of churn ratios")
+		scalingBench  = flag.String("scalingBench", "BenchmarkShardedParallel", "scaling benchmark family")
+		scenario      = flag.String("scenario", "mixed", "scaling scenario the gate applies to")
+		procsLow      = flag.Int("procsLow", 1, "baseline GOMAXPROCS of the scaling gate")
+		procsHigh     = flag.Int("procsHigh", 8, "contended GOMAXPROCS of the scaling gate")
+		minSpeedup    = flag.Float64("minSpeedup", 4, "required procsHigh/procsLow throughput ratio")
+		overhead      = flag.Bool("overhead", false, "gate telemetry-on vs telemetry-off churn cost instead of churn ratios")
+		overheadBench = flag.String("overheadBench", "BenchmarkChurnTelemetry", "overhead benchmark family")
+		maxOverhead   = flag.Float64("maxOverhead", 1.10, "max allowed telemetry-on/telemetry-off ns/op ratio")
 	)
 	flag.Parse()
 
@@ -83,6 +95,10 @@ func run() int {
 	if *scaling {
 		return runScaling(results, *scalingBench, *scenario, *procsLow, *procsHigh, *minSpeedup,
 			defaultOut(*out, "BENCH_ci_scaling.json"))
+	}
+	if *overhead {
+		return runOverhead(results, *overheadBench, *maxOverhead,
+			defaultOut(*out, "BENCH_ci_overhead.json"))
 	}
 	*out = defaultOut(*out, "BENCH_ci_churn.json")
 
@@ -192,6 +208,65 @@ func runScaling(results []benchfmt.Result, family, scenario string, procsLow, pr
 	}
 	if bad {
 		fmt.Fprintln(os.Stderr, "benchgate: scaling regression (or missing data) — see above")
+		return 1
+	}
+	return 0
+}
+
+// runOverhead is the -overhead mode: the benchmark family holds
+// <variant>/off and <variant>/on twins over an identical churn stream;
+// every variant's on/off ns/op ratio must stay within maxRatio, and a
+// variant with only one half of the pair fails the gate outright.
+func runOverhead(results []benchfmt.Result, family string, maxRatio float64, out string) int {
+	prefix := family + "/"
+	variants := map[string]bool{}
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		if v, _, ok := strings.Cut(strings.TrimPrefix(r.Name, prefix), "/"); ok {
+			variants[v] = true
+		}
+	}
+	if len(variants) == 0 {
+		return fail(fmt.Errorf("no %s/* results in the input", family))
+	}
+	order := make([]string, 0, len(variants))
+	for v := range variants {
+		order = append(order, v)
+	}
+	sort.Strings(order)
+
+	findings := map[string]float64{}
+	bad := false
+	for _, v := range order {
+		offNs, err1 := benchfmt.NsPerOp(results, prefix+v+"/off")
+		onNs, err2 := benchfmt.NsPerOp(results, prefix+v+"/on")
+		if err1 != nil || err2 != nil || offNs <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: incomplete on/off pair for %s (%v, %v)\n", v, err1, err2)
+			bad = true
+			continue
+		}
+		ratio := onNs / offNs
+		findings[v+"/ns_per_op_off"] = offNs
+		findings[v+"/ns_per_op_on"] = onNs
+		findings[v+"/overhead_ratio"] = ratio
+		findings[v+"/overhead_limit"] = maxRatio
+		status := "ok"
+		if ratio > maxRatio {
+			status = fmt.Sprintf("FAIL (limit %g)", maxRatio)
+			bad = true
+		}
+		fmt.Printf("%s: off=%.0fns/op on=%.0fns/op overhead=%.2fx %s\n", v, offNs, onNs, ratio, status)
+	}
+
+	if err := writeRecord(out, "ci_overhead", "CI telemetry-overhead gate",
+		fmt.Sprintf("telemetry-on churn stays within %gx of telemetry-off per variant", maxRatio),
+		findings); err != nil {
+		return fail(err)
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "benchgate: telemetry overhead regression (or missing data) — see above")
 		return 1
 	}
 	return 0

@@ -5,27 +5,40 @@
 //
 //	reallocbench [-e E1|E2|...|E16|all] [-seed N] [-ops N] [-quick] [-list]
 //	            [-core pods14|fcs|auto] [-cpuprofile FILE] [-memprofile FILE]
-//	            [-json] [-outdir DIR]
+//	            [-json] [-outdir DIR] [-telemetry] [-http ADDR]
 //
 // With -json, each experiment additionally writes a machine-readable
 // BENCH_<id>.json (into -outdir, default ".") carrying its findings map,
 // wall-clock duration, and run configuration, so successive runs
 // accumulate a perf trajectory that tooling can diff.
+//
+// With -telemetry, the facade-level experiments (E13–E15) run with the
+// runtime telemetry layer armed and embed its percentile summaries
+// (telemetry/<metric>/{p50,p95,p99,max}_*) in their findings — and
+// hence in BENCH_<id>.json under -json. With -http ADDR (which implies
+// -telemetry), the currently running experiment's registry is also
+// served live: Prometheus text on ADDR/metrics, expvar on
+// /debug/vars, and the pprof surface on /debug/pprof — e.g.
+//
+//	reallocbench -e E14 -telemetry -http :6060
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"realloc/internal/benchfmt"
 	"realloc/internal/exp"
+	"realloc/internal/telemetry"
 )
 
 func main() {
@@ -47,8 +60,13 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write an allocation profile to `file`")
 		jsonOut    = flag.Bool("json", false, "write a BENCH_<id>.json per experiment run")
 		outdir     = flag.String("outdir", ".", "directory for -json output files")
+		telem      = flag.Bool("telemetry", false, "arm the runtime telemetry layer on facade experiments and embed percentile summaries in findings")
+		httpAddr   = flag.String("http", "", "serve live /metrics, /debug/vars and /debug/pprof on this `address` (implies -telemetry)")
 	)
 	flag.Parse()
+	if *httpAddr != "" {
+		*telem = true
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -85,6 +103,23 @@ func run() int {
 	}()
 
 	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick, Core: *coreName}
+	// Each experiment records into a fresh registry so its findings (and
+	// the live HTTP view) describe that run alone; liveReg is what the
+	// debug server reads, swapped atomically as experiments advance.
+	var liveReg atomic.Pointer[telemetry.Registry]
+	if *telem {
+		liveReg.Store(telemetry.NewRegistry())
+	}
+	if *httpAddr != "" {
+		go func() {
+			err := http.ListenAndServe(*httpAddr, http.HandlerFunc(
+				func(w http.ResponseWriter, r *http.Request) {
+					telemetry.NewServeMux(liveReg.Load()).ServeHTTP(w, r)
+				}))
+			fmt.Fprintln(os.Stderr, "reallocbench: http:", err)
+		}()
+		fmt.Fprintf(os.Stderr, "reallocbench: serving /metrics, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+	}
 	var targets []exp.Experiment
 	if strings.EqualFold(*which, "all") {
 		targets = exp.All()
@@ -101,10 +136,18 @@ func run() int {
 	// from different PRs are comparable (and same-run files group).
 	manifest := benchfmt.CurrentManifest()
 	for _, e := range targets {
+		if *telem {
+			reg := telemetry.NewRegistry()
+			liveReg.Store(reg)
+			cfg.Telemetry = reg
+		}
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
 			return fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if cfg.Telemetry != nil && res.Findings != nil {
+			cfg.Telemetry.Snapshot().AppendFindings(res.Findings, "telemetry/")
 		}
 		fmt.Printf("== %s: %s ==\nClaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Text)
 		if !*jsonOut {

@@ -5,6 +5,8 @@
 //
 //	reallocviz fig1|fig2|fig3       reproduce a figure from the paper
 //	reallocviz trace [-ops N]       animate the layout under random churn
+//	reallocviz telemetry [-ops N]   churn a telemetry-armed facade and render
+//	                                its latency/flush histograms + flush spans
 package main
 
 import (
@@ -42,6 +44,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "reallocviz:", err)
 			os.Exit(1)
 		}
+	case "telemetry":
+		fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+		ops := fs.Int("ops", 50000, "number of churn requests")
+		shards := fs.Int("shards", 1, "shard count (>1 uses the sharded facade)")
+		seed := fs.Uint64("seed", 7, "workload seed")
+		eps := fs.Float64("eps", 0.25, "footprint slack")
+		tail := fs.Int("spans", 20, "flush spans to tabulate (newest first cut)")
+		_ = fs.Parse(os.Args[2:])
+		if err := telemetryCmd(*ops, *shards, *seed, *eps, *tail); err != nil {
+			fmt.Fprintln(os.Stderr, "reallocviz:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 	}
@@ -56,7 +70,7 @@ func emit(out string, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reallocviz fig1|fig2|fig3|trace [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reallocviz fig1|fig2|fig3|trace|telemetry [flags]")
 	os.Exit(2)
 }
 

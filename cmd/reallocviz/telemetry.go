@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"realloc"
+	"realloc/internal/telemetry"
+	"realloc/internal/workload"
+)
+
+// flushSpan is one EventFlushSpan captured by the observer: the
+// telemetry layer replays every completed flush as (chunks, moved
+// volume, stall ns, active ns) on the emitting shard.
+type flushSpan struct {
+	shard  int
+	chunks int64
+	moved  int64
+	stall  int64
+	active int64
+}
+
+// churnTarget is the facade surface the telemetry view drives; both
+// realloc.New and realloc.NewSharded products satisfy it.
+type churnTarget interface {
+	Insert(id int64, size int64) error
+	Delete(id int64) error
+	Drain() error
+}
+
+// telemetryCmd churns a telemetry-armed facade and renders what the
+// registry saw: one ASCII histogram per populated metric plus the tail
+// of the flush-span stream.
+func telemetryCmd(ops, shards int, seed uint64, eps float64, spanTail int) error {
+	reg := telemetry.NewRegistry()
+	var spans []flushSpan
+	obs := func(e realloc.Event) {
+		if e.Kind == realloc.EventFlushSpan {
+			spans = append(spans, flushSpan{
+				shard: e.Shard, chunks: e.ID, moved: e.Size, stall: e.From, active: e.To,
+			})
+		}
+	}
+	opts := []realloc.Option{
+		realloc.WithEpsilon(eps),
+		realloc.WithTelemetry(reg),
+		realloc.WithObserver(obs),
+	}
+	var (
+		r   churnTarget
+		err error
+	)
+	if shards > 1 {
+		r, err = realloc.NewSharded(append(opts, realloc.WithShards(shards))...)
+	} else {
+		r, err = realloc.New(opts...)
+	}
+	if err != nil {
+		return err
+	}
+
+	churn := &workload.Churn{
+		Seed:         seed,
+		Sizes:        workload.Pareto{Min: 1, Max: 128, Alpha: 1.3},
+		TargetVolume: 20000,
+	}
+	for i := 1; i <= ops; i++ {
+		op, ok := churn.Next()
+		if !ok {
+			break
+		}
+		if op.Insert {
+			err = r.Insert(int64(op.ID), op.Size)
+		} else {
+			err = r.Delete(int64(op.ID))
+		}
+		if err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	if err := r.Drain(); err != nil {
+		return err
+	}
+
+	snap := reg.Snapshot()
+	fmt.Printf("%d churn ops, %d shard(s), eps=%g — registry aggregate:\n\n", ops, reg.NumShards(), eps)
+	for _, h := range []struct {
+		title string
+		s     *telemetry.HistSnapshot
+		nanos bool
+	}{
+		{"insert latency", &snap.InsertLatency, true},
+		{"delete latency", &snap.DeleteLatency, true},
+		{"flush duration (active)", &snap.FlushDuration, true},
+		{"flush stall (per stalled op)", &snap.FlushStall, true},
+		{"flush moved volume (cells)", &snap.FlushMoved, false},
+		{"flush chunk size (cells)", &snap.FlushChunk, false},
+		{"migrate latency", &snap.MigrateLatency, true},
+	} {
+		fmt.Print(renderHist(h.title, h.s, h.nanos, 40))
+	}
+	fmt.Printf("checkpoints: %d\n", snap.Checkpoints)
+	fmt.Print(renderSpans(spans, spanTail))
+	return nil
+}
+
+// renderHist draws one histogram as labeled log-bucket rows, bars
+// scaled to the fullest bucket. Empty histograms render as one line so
+// the reader sees which metrics the run never touched.
+func renderHist(title string, s *telemetry.HistSnapshot, nanos bool, width int) string {
+	val := func(v int64) string { return fmt.Sprintf("%d", v) }
+	if nanos {
+		val = func(v int64) string { return time.Duration(v).String() }
+	}
+	if s.Count == 0 {
+		return fmt.Sprintf("== %s ==\n(no samples)\n\n", title)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "count %d  mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		s.Count, val(int64(s.Mean())),
+		val(s.Quantile(0.50)), val(s.Quantile(0.95)), val(s.Quantile(0.99)), val(s.Max))
+	first, last, peak := -1, 0, int64(0)
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		last = i
+		if c > peak {
+			peak = c
+		}
+	}
+	for i := first; i <= last; i++ {
+		lo, hi := telemetry.BucketBounds(i)
+		n := int(s.Buckets[i] * int64(width) / peak)
+		if s.Buckets[i] > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  [%9s, %9s) %8d %s\n", val(lo), val(hi), s.Buckets[i], strings.Repeat("#", n))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderSpans tabulates the newest tail of the flush-span stream.
+func renderSpans(spans []flushSpan, tail int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== flush spans (%d total", len(spans))
+	if len(spans) > tail {
+		fmt.Fprintf(&b, ", last %d shown", tail)
+		spans = spans[len(spans)-tail:]
+	}
+	b.WriteString(") ==\n")
+	if len(spans) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%5s %7s %7s %12s %12s\n", "shard", "chunks", "moved", "stall", "active")
+	for _, sp := range spans {
+		fmt.Fprintf(&b, "%5d %7d %7d %12s %12s\n",
+			sp.shard, sp.chunks, sp.moved,
+			time.Duration(sp.stall).String(), time.Duration(sp.active).String())
+	}
+	return b.String()
+}

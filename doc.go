@@ -169,6 +169,43 @@
 // EventInsert on the target, then an EventMigrate carrying both shard
 // indices.
 //
+// # Observability
+//
+// WithTelemetry arms a runtime telemetry layer on either facade,
+// recording into a caller-owned registry (internal/telemetry):
+//
+//	reg := telemetry.NewRegistry()
+//	s, _ := realloc.NewSharded(realloc.WithShards(8), realloc.WithTelemetry(reg))
+//	http.ListenAndServe(":6060", telemetry.NewServeMux(reg))
+//
+// The registry holds one metric set per shard: log-bucketed histograms
+// (two buckets per octave, so any quantile is exact to within ~25%
+// relative error) of insert/delete latency, per-flush active duration
+// and moved volume, per-chunk size, per-stalled-op flush stall, and
+// cross-shard migration latency, plus a checkpoint counter. Recording
+// is lock-free and allocation-free — one atomic add into the owning
+// shard's bucket plus a sum update — and snapshot reads take no locks
+// and 0 allocs/op via ReadSnapshot/ReadShardSnapshot, so a monitoring
+// loop never perturbs the structure it watches. Measured whole-facade
+// churn overhead with telemetry armed is ~3–4% (BenchmarkChurnTelemetry;
+// CI gates it at 10% via cmd/benchgate -overhead).
+//
+// The registry is served three ways: telemetry.Handler renders
+// Prometheus text (per-shard histograms, labeled shard="i"),
+// telemetry.Var plugs into expvar, and telemetry.NewServeMux bundles
+// /metrics, /debug/vars, and /debug/pprof into one stdlib mux.
+// telemetry.SnapshotWriter appends timestamped JSONL snapshots carrying
+// the benchfmt manifest for offline trajectories.
+//
+// With telemetry armed, Stats additionally reports LatencyP99 and
+// FlushP99 (zero, not an error, when telemetry is off), and observers
+// receive an EventFlushSpan after each EventFlushEnd replaying the
+// completed flush as a timing span: chunk count, moved volume, stall
+// and active nanoseconds. cmd/reallocbench -telemetry embeds percentile
+// summaries in BENCH_<id>.json and serves the live registry with -http;
+// cmd/reallocviz telemetry renders the histograms and span stream as
+// ASCII after a churn run.
+//
 // # Performance
 //
 // Atomic flushes — the hot path that relocates nearly every object of a

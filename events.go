@@ -1,6 +1,11 @@
 package realloc
 
-import "realloc/internal/trace"
+import (
+	"time"
+
+	"realloc/internal/telemetry"
+	"realloc/internal/trace"
+)
 
 // EventKind enumerates observer event types.
 type EventKind uint8
@@ -29,6 +34,12 @@ const (
 	// stays exact; EventMigrate adds the cross-shard linkage for
 	// observers that track object identity.
 	EventMigrate
+	// EventFlushSpan fires right after EventFlushEnd when the telemetry
+	// layer is armed (WithTelemetry — the timings do not exist
+	// otherwise), replaying the completed flush as a timing span: ID is
+	// the chunk count, Size the moved volume, From the stall
+	// nanoseconds, To the active-execution nanoseconds.
+	EventFlushSpan
 )
 
 func (k EventKind) String() string {
@@ -47,6 +58,8 @@ func (k EventKind) String() string {
 		return "flush-end"
 	case EventMigrate:
 		return "migrate"
+	case EventFlushSpan:
+		return "flush-span"
 	default:
 		return "unknown"
 	}
@@ -70,7 +83,8 @@ type Event struct {
 	// shard's private address space.
 	Shard int
 	// FromShard is the source shard of an EventMigrate (whose From
-	// address is relative to it); equal to Shard for every other kind.
+	// address is relative to it); 0 for every other kind — use Shard
+	// for the emitting shard.
 	FromShard int
 }
 
@@ -96,12 +110,16 @@ func (o observerAdapter) Record(e trace.Event) {
 		k = EventFlushStart
 	case trace.KFlushEnd:
 		k = EventFlushEnd
+	case trace.KFlushSpan:
+		k = EventFlushSpan
 	default:
 		return // internal bookkeeping events are not exposed
 	}
+	// FromShard stays zero here: it is documented as migrate-only, and
+	// the rebalancer fills it when it emits EventMigrate directly.
 	o.fn(Event{
 		Kind: k, ID: e.ID, Size: e.Size, From: e.From, To: e.To,
-		Footprint: e.Footprint, Volume: e.Volume, Shard: o.shard, FromShard: o.shard,
+		Footprint: e.Footprint, Volume: e.Volume, Shard: o.shard,
 	})
 }
 
@@ -137,6 +155,13 @@ type Stats struct {
 	MaxShardVolume int64
 	MinShardVolume int64
 	VolumeSpread   float64
+	// LatencyP99 and FlushP99 are telemetry summaries: the 99th
+	// percentile of op latency (inserts and deletes combined) and of
+	// per-flush active execution time. Both are zero unless the
+	// reallocator was built WithTelemetry — Stats stays nil-safe when
+	// the telemetry layer is off.
+	LatencyP99 time.Duration
+	FlushP99   time.Duration
 }
 
 // Stats returns the accumulated metrics; it returns ok=false unless the
@@ -146,7 +171,22 @@ func (r *Reallocator) Stats() (Stats, bool) {
 		return Stats{}, false
 	}
 	defer r.lock()()
-	return statsFromMetrics(r.metrics), true
+	s := statsFromMetrics(r.metrics)
+	if r.telReg != nil {
+		var snap telemetry.Snapshot
+		r.telReg.ReadSnapshot(&snap)
+		s.LatencyP99, s.FlushP99 = latencyP99s(&snap)
+	}
+	return s, true
+}
+
+// latencyP99s extracts the Stats telemetry summaries from a registry
+// snapshot: op latency merges the insert and delete histograms (the
+// caller cares about request tails, not which verb they came from).
+func latencyP99s(snap *telemetry.Snapshot) (op, flush time.Duration) {
+	merged := snap.InsertLatency
+	merged.Merge(&snap.DeleteLatency)
+	return time.Duration(merged.Quantile(0.99)), time.Duration(snap.FlushDuration.Quantile(0.99))
 }
 
 // statsFromMetrics converts one recorder's accumulated metrics to the

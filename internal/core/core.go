@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	// identical event streams, layouts, and stats (the differential tests
 	// assert it); this exists for cross-checking and debugging.
 	SerialFlush bool
+	// Telemetry, when non-nil, receives wall-clock timing: flush
+	// duration/stall/chunk/moved histograms and the checkpoint counter.
+	// Nil (the default) keeps every timing site a single branch — the
+	// core never reads a clock unless someone is listening.
+	Telemetry *telemetry.Set
 }
 
 // Errors returned by Reallocator operations.
@@ -176,6 +182,15 @@ type Reallocator struct {
 
 	flushes int64
 
+	// tel mirrors cfg.Telemetry (kept as a field so hot paths pay one
+	// pointer test); stalling marks that the current advanceQuota work is
+	// being performed by an op that did not trigger the flush, so chunk
+	// time is attributed to stall as well as to the flush's duration;
+	// opStall accumulates the stalled op's timed slices across plans.
+	tel      *telemetry.Set
+	stalling bool
+	opStall  int64
+
 	// Deamortized state: the plan of an in-progress flush and the update
 	// log absorbing requests that arrive while it runs.
 	plan *flushPlan
@@ -235,6 +250,7 @@ func New(cfg Config) (*Reallocator, error) {
 		space:      addrspace.New(opts),
 		rec:        rec,
 		nullRec:    nullRec,
+		tel:        cfg.Telemetry,
 		objs:       make(map[ID]*object),
 		volByClass: make(map[int]int64),
 	}
@@ -482,6 +498,16 @@ func (r *Reallocator) bufCap(v int64) int64 {
 	return int64(r.eps * float64(v))
 }
 
+// syncCheckpoints republishes the substrate's authoritative checkpoint
+// count into the telemetry set. It runs where checkpoints can have
+// advanced (blocked placements/moves, flush completion) rather than per
+// move: the substrate already counts, telemetry only mirrors.
+func (r *Reallocator) syncCheckpoints() {
+	if r.tel != nil {
+		r.tel.Checkpoints.Store(r.space.Checkpoints())
+	}
+}
+
 // moveCkpt relocates an object, transparently blocking on (triggering and
 // counting) checkpoints when the target intersects freed-since-checkpoint
 // space. A move to the current position is a no-op; the boolean reports
@@ -502,6 +528,7 @@ func (r *Reallocator) moveCkpt(id ID, to int64) (bool, error) {
 		}
 		if errors.Is(err, addrspace.ErrWouldBlock) {
 			r.space.Checkpoint()
+			r.syncCheckpoints()
 			r.emit(trace.KCheckpoint, 0, 0, 0, 0)
 			continue
 		}
@@ -525,6 +552,7 @@ func (r *Reallocator) placeCkpt(id ID, ext addrspace.Extent) error {
 		}
 		if errors.Is(err, addrspace.ErrWouldBlock) {
 			r.space.Checkpoint()
+			r.syncCheckpoints()
 			r.emit(trace.KCheckpoint, 0, 0, 0, 0)
 			continue
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"realloc/internal/addrspace"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -20,6 +21,15 @@ type flushPlan struct {
 	sess        *addrspace.MoveSession
 	next        int
 	movedVolume int64
+	// Telemetry accounting (maintained only when Config.Telemetry is
+	// set): activeNanos sums the wall-clock of plan construction plus
+	// every executed chunk and log-drain slice — the flush's actual
+	// execution time, excluding the caller think-time between the ops
+	// that carry a deamortized flush; stallNanos is the part performed
+	// by ops that did not trigger the flush; chunks counts quota slices.
+	activeNanos int64
+	stallNanos  int64
+	chunks      int64
 }
 
 // startFlush builds and installs a Section 3.2 flush plan. For an
@@ -41,6 +51,10 @@ type flushPlan struct {
 // on space freed since the last checkpoint blocks on — triggers and
 // counts — a checkpoint.
 func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
+	var t0 int64
+	if r.tel != nil {
+		t0 = telemetry.Now()
+	}
 	r.flushes++
 	b := r.boundaryClass(trigClass)
 	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
@@ -137,6 +151,12 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 		logBase = r.tailBuf.end()
 	}
 	r.log.reset(logBase)
+	if r.tel != nil {
+		// Plan construction (layout compute + schedule validation) is
+		// flush work: it counts toward the flush's duration, and toward
+		// stall when a deferred flush starts under another op's advance.
+		r.plan.addSlice(r, telemetry.Now()-t0)
+	}
 	return nil
 }
 
@@ -163,7 +183,11 @@ func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 				n   int
 				vol int64
 				err error
+				t0  int64
 			)
+			if r.tel != nil {
+				t0 = telemetry.Now()
+			}
 			if p.sess != nil {
 				n, vol, err = p.sess.Advance(q, r.planEmitter())
 				if err == nil && p.sess.Done() {
@@ -178,21 +202,42 @@ func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 			p.next += n
 			p.movedVolume += vol
 			q -= vol
+			if r.tel != nil {
+				p.addSlice(r, telemetry.Now()-t0)
+				p.chunks++
+				r.tel.FlushChunk.Record(vol)
+			}
 			if err != nil {
 				return q, err
 			}
 			continue
 		}
-		if e, ok := r.log.pop(); ok {
-			if e.dead {
-				continue
+		if r.log.pending() > 0 {
+			// One timing slice covers the whole contiguous drain run —
+			// per-entry clock reads would double the cost of draining
+			// small objects for no extra information.
+			var t0 int64
+			if r.tel != nil {
+				t0 = telemetry.Now()
 			}
-			q -= e.size
 			var err error
-			if e.insert {
-				err = r.drainInsert(e.obj)
-			} else {
-				err = r.drainDelete(e.obj)
+			for q > 0 && err == nil {
+				e, ok := r.log.pop()
+				if !ok {
+					break
+				}
+				if e.dead {
+					continue
+				}
+				q -= e.size
+				if e.insert {
+					err = r.drainInsert(e.obj)
+				} else {
+					err = r.drainDelete(e.obj)
+				}
+			}
+			if r.tel != nil {
+				p.addSlice(r, telemetry.Now()-t0)
 			}
 			if err != nil {
 				return q, err
@@ -209,12 +254,52 @@ func (r *Reallocator) advanceQuota(q int64) (int64, error) {
 	return q, nil
 }
 
+// addSlice folds one timed slice of flush work into the plan's
+// telemetry accounting; under a stalled op it doubles as that op's
+// stall accounting, so the stall metric reuses the slice clock reads
+// instead of paying for its own.
+func (p *flushPlan) addSlice(r *Reallocator, elapsed int64) {
+	p.activeNanos += elapsed
+	if r.stalling {
+		p.stallNanos += elapsed
+		r.opStall += elapsed
+	}
+}
+
+// advanceStalled is advanceQuota for an op paying its quota into a
+// flush it did not trigger: the timed flush-work slices executed on its
+// behalf are that op's flush-stall time, recorded per op (opStall
+// survives the plan's retirement, which a per-plan delta would not).
+func (r *Reallocator) advanceStalled(q int64) (int64, error) {
+	if r.tel == nil {
+		return r.advanceQuota(q)
+	}
+	r.opStall = 0
+	r.stalling = true
+	rem, err := r.advanceQuota(q)
+	r.stalling = false
+	r.tel.FlushStall.Record(r.opStall)
+	return rem, err
+}
+
 // finishFlush retires the completed plan and, if the tail buffer
 // overflowed while the log drained, immediately triggers the next flush.
 func (r *Reallocator) finishFlush() error {
 	p := r.plan
 	r.plan = nil
 	r.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: p.movedVolume})
+	if r.tel != nil {
+		r.tel.FlushDuration.Record(p.activeNanos)
+		r.tel.FlushMoved.Record(p.movedVolume)
+		r.syncCheckpoints()
+		// The span replays the flush's whole timing story through the
+		// ordinary event stream, right after its KFlushEnd.
+		r.rec.Record(trace.Event{
+			Kind: trace.KFlushSpan, ID: p.chunks, Size: p.movedVolume,
+			From: p.stallNanos, To: p.activeNanos,
+			Footprint: r.space.MaxEnd(), Volume: r.vol,
+		})
+	}
 	r.log.reset(0)
 	if t := r.tailBuf; t != nil && t.fill > t.cap {
 		return r.startFlush(maxClassSentinel, 0)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"realloc/internal/addrspace"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -19,6 +20,10 @@ import (
 // batch (see addrspace.ApplyMoves); the observable event stream is
 // identical to executing it move by move.
 func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
+	var t0 int64
+	if r.tel != nil {
+		t0 = telemetry.Now()
+	}
 	r.flushes++
 	b := r.boundaryClass(trigClass)
 	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
@@ -84,5 +89,18 @@ func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
 		trigger.place = inPayload
 	}
 	r.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: flushedVol})
+	if r.tel != nil {
+		// An atomic flush is a single chunk with no stall: the whole
+		// schedule ran inside the triggering request.
+		el := telemetry.Now() - t0
+		r.tel.FlushDuration.Record(el)
+		r.tel.FlushMoved.Record(flushedVol)
+		r.tel.FlushChunk.Record(flushedVol)
+		r.syncCheckpoints()
+		r.rec.Record(trace.Event{
+			Kind: trace.KFlushSpan, ID: 1, Size: flushedVol, To: el,
+			Footprint: r.space.MaxEnd(), Volume: r.vol,
+		})
+	}
 	return nil
 }

@@ -29,7 +29,7 @@ func (r *Reallocator) Insert(id ID, size int64) error {
 		quota = r.workQuota(size)
 		if r.plan != nil {
 			var err error
-			quota, err = r.advanceQuota(quota)
+			quota, err = r.advanceStalled(quota)
 			if err != nil {
 				return err
 			}
@@ -206,7 +206,7 @@ func (r *Reallocator) Delete(id ID) error {
 		quota = r.workQuota(obj.size)
 		if r.plan != nil {
 			var err error
-			quota, err = r.advanceQuota(quota)
+			quota, err = r.advanceStalled(quota)
 			if err != nil {
 				return err
 			}

@@ -172,6 +172,7 @@ func (a *autoEngine) commit(choice Core) error {
 		Recorder:   a.cfg.Recorder,
 		TrackCells: a.cfg.TrackCells,
 		Paranoid:   a.cfg.Paranoid,
+		Telemetry:  a.cfg.Telemetry,
 	})
 	if err != nil {
 		return err

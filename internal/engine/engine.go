@@ -21,6 +21,7 @@ import (
 	"realloc/internal/addrspace"
 	"realloc/internal/core"
 	"realloc/internal/engine/fcs"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -183,6 +184,10 @@ type Config struct {
 	// keeping per-shard engines homogeneous). Nil gives an AutoSelect
 	// engine a private coordinator; ignored by concrete cores.
 	Coordinator *AutoCoordinator
+	// Telemetry, when non-nil, receives the core's wall-clock flush
+	// timings (duration, stall, chunk, moved volume) and checkpoint
+	// counts; the facade layers its own op-latency recording on top.
+	Telemetry *telemetry.Set
 }
 
 // ValidateEpsilon is the one definition of the epsilon contract; every
@@ -280,6 +285,7 @@ func newPODSEngine(cfg Config) (Engine, error) {
 		TrackCells:  cfg.TrackCells,
 		Paranoid:    cfg.Paranoid,
 		SerialFlush: cfg.SerialFlush,
+		Telemetry:   cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -300,6 +306,7 @@ func newFCSEngine(cfg Config) (Engine, error) {
 		Recorder:   cfg.Recorder,
 		TrackCells: cfg.TrackCells,
 		Paranoid:   cfg.Paranoid,
+		Telemetry:  cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err

@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -61,6 +62,9 @@ type Config struct {
 	TrackCells bool
 	// Paranoid re-validates every invariant after each request.
 	Paranoid bool
+	// Telemetry, when non-nil, receives rebuild timings: each rebuild is
+	// one atomic flush span (duration, moved volume, a single chunk).
+	Telemetry *telemetry.Set
 }
 
 // object is the bookkeeping record for one live object.
@@ -352,7 +356,10 @@ func (r *Reallocator) rebuild() error {
 	r.planBuf = plan[:0]
 
 	r.rebuilds++
-	var moved int64
+	var moved, t0 int64
+	if r.cfg.Telemetry != nil {
+		t0 = telemetry.Now()
+	}
 	if !r.nullRec {
 		r.rec.Record(trace.Event{
 			Kind: trace.KFlushStart, From: int64(len(r.classes)), Volume: r.vol,
@@ -386,6 +393,19 @@ func (r *Reallocator) rebuild() error {
 	r.allocEnd = cursor
 	if !r.nullRec {
 		r.rec.Record(trace.Event{Kind: trace.KFlushEnd, Size: moved})
+	}
+	if tel := r.cfg.Telemetry; tel != nil {
+		// A rebuild is an atomic flush: one chunk, no stall.
+		el := telemetry.Now() - t0
+		tel.FlushDuration.Record(el)
+		tel.FlushMoved.Record(moved)
+		tel.FlushChunk.Record(moved)
+		if !r.nullRec {
+			r.rec.Record(trace.Event{
+				Kind: trace.KFlushSpan, ID: 1, Size: moved, To: el,
+				Footprint: r.space.MaxEnd(), Volume: r.vol,
+			})
+		}
 	}
 	return nil
 }

@@ -118,7 +118,7 @@ func E13(cfg Config) (*Result, error) {
 	}
 
 	table := stats.NewTable("configuration", "shards", "ops/sec", "speedup")
-	single, err := realloc.New(realloc.WithEpsilon(0.25), realloc.WithLocking())
+	single, err := realloc.New(cfg.telOpts(realloc.WithEpsilon(0.25), realloc.WithLocking())...)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func E13(cfg Config) (*Result, error) {
 	res.Findings["shards/1/speedup"] = 1
 
 	for _, n := range []int{2, 4, 8} {
-		s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(n))
+		s, err := realloc.NewSharded(cfg.telOpts(realloc.WithEpsilon(0.25), realloc.WithShards(n))...)
 		if err != nil {
 			return nil, err
 		}

@@ -52,7 +52,7 @@ func E14(cfg Config) (*Result, error) {
 		if rebal {
 			opts = append(opts, realloc.WithRebalance(pol))
 		}
-		return realloc.NewSharded(opts...)
+		return realloc.NewSharded(cfg.telOpts(opts...)...)
 	}
 
 	// Phase 1 (deterministic, single goroutine): replay the stream and

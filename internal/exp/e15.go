@@ -38,7 +38,7 @@ func E15(cfg Config) (*Result, error) {
 	for _, sc := range scenarios {
 		var base float64
 		for _, workers := range []int{1, 2, 4, 8} {
-			s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(shards))
+			s, err := realloc.NewSharded(cfg.telOpts(realloc.WithEpsilon(0.25), realloc.WithShards(shards))...)
 			if err != nil {
 				return nil, err
 			}

@@ -12,8 +12,10 @@ import (
 	"sort"
 	"strings"
 
+	"realloc"
 	"realloc/internal/core"
 	"realloc/internal/engine"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 	"realloc/internal/workload"
 )
@@ -30,6 +32,20 @@ type Config struct {
 	// core, named as engine.ParseCore understands ("pods14", "fcs",
 	// "auto"). Empty means every core.
 	Core string
+	// Telemetry optionally arms the runtime telemetry layer on every
+	// public-facade structure an experiment builds (E13–E15). The caller
+	// owns the registry: it can serve it live while the experiment runs
+	// and digest it into findings afterwards.
+	Telemetry *telemetry.Registry
+}
+
+// telOpts appends WithTelemetry to a facade option list when the run is
+// telemetry-armed.
+func (c Config) telOpts(opts ...realloc.Option) []realloc.Option {
+	if c.Telemetry != nil {
+		opts = append(opts, realloc.WithTelemetry(c.Telemetry))
+	}
+	return opts
 }
 
 // cores resolves the Core filter against the full panel.

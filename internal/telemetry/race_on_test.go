@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation perturbs allocation counts; the
+// AllocsPerRun pins skip themselves under it.
+const raceEnabled = true

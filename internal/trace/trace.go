@@ -27,6 +27,12 @@ const (
 	// KOpEnd closes an insert/delete request; carries post-op footprint
 	// and volume for steady-state bound checks.
 	KOpEnd
+	// KFlushSpan summarizes one completed flush as a timing span: chunk
+	// count, moved volume, stall and active-execution nanoseconds. It is
+	// emitted right after KFlushEnd, and only when the telemetry layer is
+	// wired (the timings do not exist otherwise), so observers and Logs
+	// replay flush timing without subscribing to a second stream.
+	KFlushSpan
 )
 
 func (k Kind) String() string {
@@ -45,6 +51,8 @@ func (k Kind) String() string {
 		return "flush-end"
 	case KOpEnd:
 		return "op-end"
+	case KFlushSpan:
+		return "flush-span"
 	default:
 		return "unknown"
 	}
@@ -59,6 +67,8 @@ func (k Kind) String() string {
 //	KFlushStart: From (boundary class), Volume
 //	KFlushEnd:   Size (volume moved by the flush)
 //	KOpEnd:      Footprint, Volume, From (structure size incl. empty buffers)
+//	KFlushSpan:  ID (chunks), Size (volume moved), From (stall ns),
+//	             To (active-execution ns), Footprint, Volume
 type Event struct {
 	Kind      Kind
 	ID        int64

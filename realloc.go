@@ -8,6 +8,7 @@ import (
 
 	"realloc/internal/addrspace"
 	"realloc/internal/engine"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -71,6 +72,7 @@ type config struct {
 	shards      int
 	shardsSet   bool
 	rebalance   *RebalancePolicy
+	tel         *telemetry.Registry
 }
 
 // validateEpsilon enforces the public contract at the constructor
@@ -114,7 +116,7 @@ func (c *config) resolveCore() (engine.Core, error) {
 // buildEngine constructs one engine from the resolved core and this
 // config; coord shares an AutoSelect decision across shards (nil for the
 // single-structure facade).
-func (c *config) buildEngine(ec engine.Core, rec trace.Recorder, coord *engine.AutoCoordinator) (engine.Engine, error) {
+func (c *config) buildEngine(ec engine.Core, rec trace.Recorder, coord *engine.AutoCoordinator, tel *telemetry.Set) (engine.Engine, error) {
 	e, err := engine.New(engine.Config{
 		Core:        ec,
 		Variant:     engine.Variant(c.variant),
@@ -124,6 +126,7 @@ func (c *config) buildEngine(ec engine.Core, rec trace.Recorder, coord *engine.A
 		Paranoid:    c.paranoid,
 		SerialFlush: c.serialFlush,
 		Coordinator: coord,
+		Telemetry:   tel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("realloc: %w", err)
@@ -193,6 +196,21 @@ func WithShards(n int) Option {
 	return func(c *config) { c.shards, c.shardsSet = n, true }
 }
 
+// WithTelemetry arms the runtime telemetry layer on the registry: the
+// reallocator records wall-clock op-latency histograms per kind, flush
+// duration/stall/chunk/moved-volume histograms, rebalancer migration
+// latency, and checkpoint counts into reg. A sharded reallocator
+// records into one Set per shard (reg.Shard(i)); reading the registry
+// aggregates them. Recording costs two atomic adds plus two clock
+// reads per op; without this option every telemetry site is a single
+// nil check. The same registry may also be served live — see
+// telemetry.Handler and telemetry.NewServeMux — and read at any
+// frequency concurrently with operation (snapshot reads take no locks
+// and allocate nothing).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.tel = reg }
+}
+
 // WithRebalance arms dynamic cross-shard rebalancing on a sharded
 // reallocator: per-shard live volume is watched, and once the imbalance
 // ratio max/mean exceeds the policy threshold, bounded batches of objects
@@ -209,6 +227,10 @@ type Reallocator struct {
 	inner   engine.Engine
 	metrics *trace.Metrics
 	mu      *sync.Mutex // non-nil iff WithLocking
+	// tel is this structure's telemetry set (nil without WithTelemetry);
+	// telReg is the whole registry, kept for Stats aggregation.
+	tel    *telemetry.Set
+	telReg *telemetry.Registry
 }
 
 // newRecorder builds the recorder chain one reallocator core emits into:
@@ -263,11 +285,15 @@ func New(opts ...Option) (*Reallocator, error) {
 		return nil, err
 	}
 	rec, m := newRecorder(&cfg, 0)
-	inner, err := cfg.buildEngine(ec, rec, nil)
+	var set *telemetry.Set
+	if cfg.tel != nil {
+		set = cfg.tel.Shard(0)
+	}
+	inner, err := cfg.buildEngine(ec, rec, nil, set)
 	if err != nil {
 		return nil, err
 	}
-	out := &Reallocator{inner: inner, metrics: m}
+	out := &Reallocator{inner: inner, metrics: m, tel: set, telReg: cfg.tel}
 	if cfg.locking {
 		out.mu = new(sync.Mutex)
 	}
@@ -280,14 +306,30 @@ func (r *Reallocator) Insert(id int64, size int64) error {
 	if err := validateSize(size); err != nil {
 		return err
 	}
+	if r.tel == nil {
+		defer r.lock()()
+		return r.inner.Insert(addrspace.ID(id), size)
+	}
+	// Op latency is wall-clock as the caller experiences it: lock wait
+	// included, flush work the op performs included.
+	start := telemetry.Now()
 	defer r.lock()()
-	return r.inner.Insert(addrspace.ID(id), size)
+	err := r.inner.Insert(addrspace.ID(id), size)
+	r.tel.InsertLatency.Record(telemetry.Now() - start)
+	return err
 }
 
 // Delete services 〈DeleteObject, id〉.
 func (r *Reallocator) Delete(id int64) error {
+	if r.tel == nil {
+		defer r.lock()()
+		return r.inner.Delete(addrspace.ID(id))
+	}
+	start := telemetry.Now()
 	defer r.lock()()
-	return r.inner.Delete(addrspace.ID(id))
+	err := r.inner.Delete(addrspace.ID(id))
+	r.tel.DeleteLatency.Record(telemetry.Now() - start)
+	return err
 }
 
 // Extent returns the object's current physical placement. Placements

@@ -6,6 +6,7 @@ import (
 
 	"realloc/internal/addrspace"
 	"realloc/internal/rebalance"
+	"realloc/internal/telemetry"
 )
 
 // RebalanceMode selects when the rebalancer runs; see WithRebalance.
@@ -250,6 +251,12 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 	// footprint the most.
 	for i := len(all) - 1; i >= 0 && moved < maxObjects && movedVol < volBudget; i-- {
 		v := all[i]
+		// Migration latency is charged to the source shard's set: it is the
+		// shard whose traffic the batch displaces.
+		var t0 int64
+		if src.tel != nil {
+			t0 = telemetry.Now()
+		}
 		// Re-read the extent at the last moment: an earlier delete in this
 		// batch can trigger a compaction flush on the source that has
 		// already relocated this victim, and the migrate event must name
@@ -289,6 +296,9 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 				Shard:     to,
 				FromShard: from,
 			})
+		}
+		if src.tel != nil {
+			src.tel.MigrateLatency.Record(telemetry.Now() - t0)
 		}
 	}
 	// Let the source compact the space the batch vacated before the locks

@@ -11,6 +11,7 @@ import (
 	"realloc/internal/engine"
 	"realloc/internal/rebalance"
 	"realloc/internal/shardhash"
+	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
 
@@ -72,12 +73,18 @@ type ShardedReallocator struct {
 	migrations     atomic.Int64
 	migratedVolume atomic.Int64
 
+	// telReg is the registry WithTelemetry armed (nil otherwise); each
+	// shard records into its own Set, and stats reads aggregate them.
+	telReg *telemetry.Registry
+
 	// volScratch recycles the per-shard volume vectors the lock-free skew
 	// checks read, so inline triggers allocate nothing on the hot path;
-	// costScratch recycles ReadStats' per-function cost accumulator.
+	// costScratch recycles ReadStats' per-function cost accumulator, and
+	// telScratch its telemetry snapshot.
 	volScratch  sync.Pool
 	costScratch sync.Pool
 	lineScratch sync.Pool
+	telScratch  sync.Pool
 
 	// rebalanceMu serializes sweeps; errMu guards the sticky background
 	// error returned by Close.
@@ -102,6 +109,10 @@ type shard struct {
 	mu      sync.RWMutex
 	inner   engine.Engine
 	metrics *trace.Metrics
+	// tel is this shard's telemetry set (nil without WithTelemetry).
+	// Recording is two atomic adds; the set itself is lock-free, so the
+	// aggregating readers never touch this shard's lock.
+	tel *telemetry.Set
 
 	_ [64]byte // keep the lock word off the mirror block's cache line
 
@@ -332,6 +343,7 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 		router:   newRouter(n),
 		observer: cfg.observer,
 		pol:      rebalance.Policy{}.WithDefaults(),
+		telReg:   cfg.tel,
 	}
 	s.volScratch.New = func() any {
 		b := make([]int64, 0, n)
@@ -342,6 +354,7 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 		b := make([]cost.Line, 0, 8)
 		return &b
 	}
+	s.telScratch.New = func() any { return new(telemetry.Snapshot) }
 	ec, err := cfg.resolveCore()
 	if err != nil {
 		return nil, err
@@ -355,11 +368,15 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 	}
 	for i := range s.shards {
 		rec, m := newRecorder(&cfg, i)
-		inner, err := cfg.buildEngine(ec, rec, coord)
+		var set *telemetry.Set
+		if cfg.tel != nil {
+			set = cfg.tel.Shard(i)
+		}
+		inner, err := cfg.buildEngine(ec, rec, coord, set)
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i] = &shard{inner: inner, metrics: m}
+		s.shards[i] = &shard{inner: inner, metrics: m, tel: set}
 	}
 	if cfg.rebalance != nil {
 		pol := toInternalPolicy(*cfg.rebalance).WithDefaults()
@@ -432,10 +449,20 @@ func (s *ShardedReallocator) Insert(id int64, size int64) error {
 	if err := validateSize(size); err != nil {
 		return err
 	}
+	// Op latency is stamped before the lock: the caller's wall-clock
+	// includes lock wait, which is exactly the contention a per-shard
+	// latency histogram exists to expose.
+	var start int64
+	if s.telReg != nil {
+		start = telemetry.Now()
+	}
 	sh, _ := s.acquire(id)
 	err := sh.inner.Insert(addrspace.ID(id), size)
 	if err == nil {
 		sh.publish()
+	}
+	if sh.tel != nil {
+		sh.tel.InsertLatency.Record(telemetry.Now() - start)
 	}
 	sh.mu.Unlock()
 	if err == nil && s.inline {
@@ -446,12 +473,19 @@ func (s *ShardedReallocator) Insert(id int64, size int64) error {
 
 // Delete services 〈DeleteObject, id〉 on the owning shard.
 func (s *ShardedReallocator) Delete(id int64) error {
+	var start int64
+	if s.telReg != nil {
+		start = telemetry.Now()
+	}
 	sh, _ := s.acquire(id)
 	err := sh.inner.Delete(addrspace.ID(id))
 	if err == nil {
 		sh.publish()
 		// The id is gone; future inserts of the same id hash fresh.
 		s.router.clear(id)
+	}
+	if sh.tel != nil {
+		sh.tel.DeleteLatency.Record(telemetry.Now() - start)
 	}
 	sh.mu.Unlock()
 	if err == nil && s.inline {
@@ -719,7 +753,13 @@ func (s *ShardedReallocator) ShardStats(i int) (Stats, bool) {
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return statsFromMetrics(sh.metrics), true
+	st := statsFromMetrics(sh.metrics)
+	if sh.tel != nil {
+		var snap telemetry.Snapshot
+		s.telReg.ReadShardSnapshot(i, &snap)
+		st.LatencyP99, st.FlushP99 = latencyP99s(&snap)
+	}
+	return st, true
 }
 
 // Stats returns metrics aggregated over all shards: counters are summed,
@@ -819,6 +859,14 @@ func (s *ShardedReallocator) ReadStats(st *Stats) bool {
 	}
 	st.VolumeSpread = rebalance.Skew(vols)
 	*volsPtr = vols
+	if s.telReg != nil {
+		// The registry read is lock-free; the pooled snapshot keeps a
+		// reused st at 0 allocs/op even with telemetry armed.
+		snap := s.telScratch.Get().(*telemetry.Snapshot)
+		s.telReg.ReadSnapshot(snap)
+		st.LatencyP99, st.FlushP99 = latencyP99s(snap)
+		s.telScratch.Put(snap)
+	}
 	return true
 }
 
