@@ -1,0 +1,237 @@
+package realloc
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"realloc/internal/telemetry"
+)
+
+// ErrClosed is reported for every op submitted to the async pipeline
+// after Close.
+var ErrClosed = errors.New("realloc: reallocator closed")
+
+// ErrAsyncDisabled is reported for every op passed to Submit on a
+// reallocator built without WithAsync.
+var ErrAsyncDisabled = errors.New("realloc: Submit requires WithAsync")
+
+// asyncReq is one submitted op in flight through a shard's ring.
+type asyncReq struct {
+	op  Op
+	tk  *Ticket
+	idx int32
+}
+
+// Ticket tracks one Submit call's completion. Wait blocks until every
+// op of the submitted batch has executed (or been rejected) and
+// returns the per-op errors with Apply's semantics: nil when all ops
+// succeeded, otherwise one slot per submitted op at its submission
+// index.
+type Ticket struct {
+	errs   []error
+	failed atomic.Bool
+	// pending counts unsettled ops; the settle that drops it to zero
+	// closes done.
+	pending atomic.Int32
+	done    chan struct{}
+	// start is the submit-time telemetry clock (0 without telemetry);
+	// the consumer stamps submit-to-complete latency against it.
+	start int64
+}
+
+// Wait blocks until the whole submitted batch has completed and
+// returns its per-op errors (nil when every op succeeded). It is safe
+// to call from multiple goroutines; all of them observe the same
+// result.
+func (t *Ticket) Wait() []error {
+	<-t.done
+	if !t.failed.Load() {
+		return nil
+	}
+	return t.errs
+}
+
+// Done returns a channel closed when the submitted batch has
+// completed, for select-based waiters.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// settle records op i's outcome; each index is settled exactly once.
+// Distinct indexes may settle from distinct goroutines — the atomic
+// pending counter orders every settle before the close of done, and
+// Wait reads errs only after that close.
+func (t *Ticket) settle(i int, err error) {
+	if err != nil {
+		t.errs[i] = err
+		t.failed.Store(true)
+	}
+	if t.pending.Add(-1) == 0 {
+		close(t.done)
+	}
+}
+
+// Submit enqueues the batch on the async pipeline and returns
+// immediately with a Ticket; WithAsync must have armed the pipeline.
+// Each op is routed once against the current route table and pushed
+// into its shard's bounded ring — when a ring is full, Submit blocks
+// until the shard's consumer drains it (backpressure, not load
+// shedding). Ops submitted by one goroutine execute on each shard in
+// submission order; Submit itself may be called from any number of
+// goroutines.
+//
+// After Close every op settles with ErrClosed; a Submit racing Close
+// either completes normally or settles with ErrClosed as a whole — a
+// batch is never torn across the shutdown.
+func (s *ShardedReallocator) Submit(batch Batch) *Ticket {
+	t := &Ticket{done: make(chan struct{})}
+	if len(batch) == 0 {
+		close(t.done)
+		return t
+	}
+	t.errs = make([]error, len(batch))
+	t.pending.Store(int32(len(batch)))
+	if s.telReg != nil {
+		t.start = telemetry.Now()
+	}
+	if s.rings == nil {
+		for i := range batch {
+			t.settle(i, ErrAsyncDisabled)
+		}
+		return t
+	}
+	// The read side of asyncMu covers the whole send loop: Close takes
+	// the write side before closing the rings, so no send can race a
+	// close. Blocking on a full ring while holding the read side is
+	// safe — consumers never take asyncMu, so they keep draining.
+	s.asyncMu.RLock()
+	if s.asyncDown {
+		s.asyncMu.RUnlock()
+		for i := range batch {
+			t.settle(i, ErrClosed)
+		}
+		return t
+	}
+	tbl := s.router.table.Load()
+	for i, op := range batch {
+		if op.Kind == OpInsert {
+			if err := validateSize(op.Size); err != nil {
+				t.settle(i, err)
+				continue
+			}
+		} else if op.Kind != OpDelete {
+			t.settle(i, errUnknownOpKind(op.Kind))
+			continue
+		}
+		s.rings[s.router.routeIn(tbl, op.ID)] <- asyncReq{op: op, tk: t, idx: int32(i)}
+	}
+	s.asyncMu.RUnlock()
+	return t
+}
+
+// consumeRing is shard si's consumer goroutine: block for one request,
+// opportunistically drain the ring up to its depth, and execute the
+// drained run as one group through the batched shard path — one lock
+// acquisition, one mirror republish, one route republish, one
+// telemetry stamp. It exits when Close closes the ring, after draining
+// every request still queued.
+func (s *ShardedReallocator) consumeRing(si int) {
+	defer s.asyncWG.Done()
+	ring := s.rings[si]
+	reqs := make([]asyncReq, 0, s.asyncCap)
+	sc := new(shardedApplyScratch) // private: consumers never contend on the pool
+	for first := range ring {
+		reqs = append(reqs[:0], first)
+	drain:
+		for len(reqs) < s.asyncCap {
+			select {
+			case rq, ok := <-ring:
+				if !ok {
+					break drain
+				}
+				reqs = append(reqs, rq)
+			default:
+				break drain
+			}
+		}
+		s.executeAsyncGroup(si, reqs, sc)
+	}
+}
+
+// executeAsyncGroup runs one drained run of requests against shard si.
+// It mirrors applyShardGroup — ownership re-validated under the lock,
+// group entry, one override-clear republish, one mirror publish — and
+// then settles each request's ticket, stamping submit-to-complete
+// latency from the ticket's submit time.
+func (s *ShardedReallocator) executeAsyncGroup(si int, reqs []asyncReq, sc *shardedApplyScratch) {
+	sh := s.shards[si]
+	sh.mu.Lock()
+	cur := s.router.table.Load()
+	ops, idx := sc.ops[:0], sc.idx[:0] // idx: group position -> reqs position
+	retry := sc.retry[:0]
+	for k, rq := range reqs {
+		if s.router.routeIn(cur, rq.op.ID) != si {
+			retry = append(retry, int32(k))
+			continue
+		}
+		ops = append(ops, toInternalOp(rq.op))
+		idx = append(idx, int32(k))
+	}
+	if len(ops) > 0 {
+		errs := growErrs(&sc.errs, len(ops))
+		sh.inner.ApplyGroup(ops, errs)
+		if cur.overrides != nil {
+			clears := sc.clears[:0]
+			for k, ri := range idx {
+				if errs[k] == nil && reqs[ri].op.Kind == OpDelete {
+					if _, ok := cur.overrides[reqs[ri].op.ID]; ok {
+						clears = append(clears, reqs[ri].op.ID)
+					}
+				}
+			}
+			s.router.clearAll(clears)
+			sc.clears = clears[:0]
+		}
+		sh.publish()
+		var end int64
+		if sh.tel != nil {
+			end = telemetry.Now()
+			sh.tel.BatchSize.Record(int64(len(ops)))
+		}
+		for k, ri := range idx {
+			if sh.tel != nil {
+				sh.tel.SubmitLatency.Record(end - reqs[ri].tk.start)
+			}
+			reqs[ri].tk.settle(int(reqs[ri].idx), errs[k])
+			errs[k] = nil
+		}
+	}
+	sh.mu.Unlock()
+	// Requests rerouted by a migration between submit and execution run
+	// through the per-op acquire path on their new owner; they are never
+	// re-enqueued on another ring, so consumers cannot deadlock on each
+	// other's backpressure.
+	for _, ri := range retry {
+		rq := reqs[ri]
+		rq.tk.settle(int(rq.idx), s.applyOne(rq.op, rq.tk.start, true))
+	}
+	sc.ops, sc.idx, sc.retry = ops, idx, retry[:0]
+	if s.inline {
+		s.maybeStealRebalanceN(int64(len(reqs)))
+	}
+}
+
+// closeAsync shuts the pipeline down: new Submits settle with
+// ErrClosed, the rings close, and every already-queued request is
+// drained and executed before the consumers exit — Close never drops
+// accepted work.
+func (s *ShardedReallocator) closeAsync() {
+	if s.rings == nil {
+		return
+	}
+	s.asyncMu.Lock()
+	s.asyncDown = true
+	s.asyncMu.Unlock()
+	for _, ring := range s.rings {
+		close(ring)
+	}
+	s.asyncWG.Wait()
+}

@@ -496,17 +496,162 @@ func benchShardedParallelZipf(b *testing.B) {
 	})
 }
 
+// benchShardedParallelMixBatched is benchShardedParallelMix with churn
+// submitted through Apply in groups of batch ops (reads stay inline):
+// the same MixStream workload E15's batched scenarios replay, so the
+// per-op and batched scaling curves stay comparable. Each timed
+// iteration is still one logical op; up to batch-1 churn ops per worker
+// remain pending when the timer stops, which is noise at benchmark op
+// counts.
+func benchShardedParallelMixBatched(b *testing.B, readPct, batch int) {
+	const shards = 8
+	const targetVol = 1 << 15
+	const maxSize = 16
+	s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	streams := make([]*exp.MixStream, workers)
+	for w := range streams {
+		streams[w] = exp.NewMixStream(uint64(w+1), w, targetVol, maxSize)
+		if err := streams[w].Seed(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) - 1
+		if i >= len(streams) {
+			b.Error("more parallel goroutines than GOMAXPROCS")
+			return
+		}
+		m := streams[i]
+		for pb.Next() {
+			if err := m.StepBatched(s, readPct, batch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkShardedParallel is the parallel scaling suite: run with
 //
 //	go test -bench ShardedParallel -cpu 1,2,4,8
 //
 // and compare ns/op across the -cpu sweep. cmd/benchgate's scaling gate
-// enforces the mixed curve in CI.
+// enforces the mixed curve in CI. The Batch64 lanes submit churn
+// through Apply — the batched path amortizes the shard lock, mirror
+// publish, and telemetry stamp across the group, so their curves bound
+// what batching buys under parallel load.
 func BenchmarkShardedParallel(b *testing.B) {
 	b.Run("read", func(b *testing.B) { benchShardedParallelMix(b, 100) })
 	b.Run("mixed", func(b *testing.B) { benchShardedParallelMix(b, 95) })
 	b.Run("churnUniform", func(b *testing.B) { benchShardedParallelMix(b, 0) })
 	b.Run("churnZipf", benchShardedParallelZipf)
+	b.Run("mixedBatch64", func(b *testing.B) { benchShardedParallelMixBatched(b, 95, 64) })
+	b.Run("churnBatch64", func(b *testing.B) { benchShardedParallelMixBatched(b, 0, 64) })
+}
+
+// benchBatchChurnSetup builds the batched-vs-per-op pricing workload
+// the benchgate -batch lane compares: stack-order churn (delete the
+// most recently inserted objects, then re-insert them) over a small
+// resident set of size-1 objects, on the FCS core at ε=1 with
+// telemetry armed. Stack-order deletes never trigger the core's
+// hole-filling swap move and the tiny resident set keeps index and
+// map costs minimal, so the request mix is dominated by front-end
+// cost — route, shard lock, mirror publish, telemetry stamp — which
+// is exactly what the group entry amortizes and the gate prices. The
+// returned 64-op batch is what both lanes replay; one timed iteration
+// is one logical op in either lane.
+func benchBatchChurnSetup(b *testing.B) (*realloc.ShardedReallocator, realloc.Batch) {
+	s, err := realloc.NewSharded(
+		realloc.WithEpsilon(1), realloc.WithShards(1),
+		realloc.WithCore(realloc.CoreFCS),
+		realloc.WithTelemetry(telemetry.NewRegistry()),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := []int64{1, 2, 3, 4}
+	for _, id := range ids {
+		if err := s.Insert(id, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batch := make(realloc.Batch, 0, 64)
+	for i := 0; i < 16; i++ {
+		batch = append(batch,
+			realloc.DeleteOp(4), realloc.DeleteOp(3),
+			realloc.InsertOp(3, 1), realloc.InsertOp(4, 1),
+		)
+	}
+	return s, batch
+}
+
+// BenchmarkBatchChurn pairs the lanes; cmd/benchgate's -batch mode
+// fails CI when batch64 does not beat perOp by the gated factor.
+func BenchmarkBatchChurn(b *testing.B) {
+	b.Run("perOp", func(b *testing.B) {
+		s, batch := benchBatchChurnSetup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for n < b.N {
+			for _, op := range batch {
+				var err error
+				if op.Kind == realloc.OpInsert {
+					err = s.Insert(op.ID, op.Size)
+				} else {
+					err = s.Delete(op.ID)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n++; n >= b.N {
+					break
+				}
+			}
+		}
+	})
+	b.Run("batch64", func(b *testing.B) {
+		s, batch := benchBatchChurnSetup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n += len(batch) {
+			if res := s.Apply(batch); res != nil {
+				b.Fatal(res)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchSize sweeps the batch width over the same churn
+// workload, mapping the amortization curve from the degenerate
+// single-op batch to well past the async ring depth.
+func BenchmarkBatchSize(b *testing.B) {
+	for _, size := range []int{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("ops=%d", size), func(b *testing.B) {
+			s, err := realloc.NewSharded(realloc.WithEpsilon(0.25), realloc.WithShards(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := exp.NewMixStream(11, 0, 1<<15, 16)
+			if err := m.Seed(s); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.StepBatched(s, 0, size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkShardedAggregateReads measures the monitoring hot loop —

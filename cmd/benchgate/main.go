@@ -33,6 +33,16 @@
 //	    benchgate -overhead [-overheadBench BenchmarkChurnTelemetry]
 //	    [-maxOverhead 1.10] [-out BENCH_ci_overhead.json]
 //
+// With -batch, it gates what the batched request path buys: the
+// perOp lane of the batch benchmark must cost at least
+// -minBatchSpeedup times the batch64 lane's ns/op. Run the benchmark
+// with -count so each lane has several samples; the gate compares the
+// per-lane minima, which cancels shared-runner noise:
+//
+//	go test -run '^$' -bench BenchmarkBatchChurn -benchtime 2s -count 3 . | \
+//	    benchgate -batch [-batchBench BenchmarkBatchChurn]
+//	    [-minBatchSpeedup 2] [-out BENCH_ci_batch.json]
+//
 // Any gate fails (exit 1) when its ratio is out of bounds or when
 // expected results are missing — a silent benchmark rename must not
 // pass the gate.
@@ -75,6 +85,9 @@ func run() int {
 		overhead      = flag.Bool("overhead", false, "gate telemetry-on vs telemetry-off churn cost instead of churn ratios")
 		overheadBench = flag.String("overheadBench", "BenchmarkChurnTelemetry", "overhead benchmark family")
 		maxOverhead   = flag.Float64("maxOverhead", 1.10, "max allowed telemetry-on/telemetry-off ns/op ratio")
+		batch         = flag.Bool("batch", false, "gate batched-vs-per-op churn speedup instead of churn ratios")
+		batchBench    = flag.String("batchBench", "BenchmarkBatchChurn", "batch speedup benchmark family")
+		minBatch      = flag.Float64("minBatchSpeedup", 2, "required perOp/batch64 ns/op speedup")
 	)
 	flag.Parse()
 
@@ -99,6 +112,10 @@ func run() int {
 	if *overhead {
 		return runOverhead(results, *overheadBench, *maxOverhead,
 			defaultOut(*out, "BENCH_ci_overhead.json"))
+	}
+	if *batch {
+		return runBatch(results, *batchBench, *minBatch,
+			defaultOut(*out, "BENCH_ci_batch.json"))
 	}
 	*out = defaultOut(*out, "BENCH_ci_churn.json")
 
@@ -267,6 +284,48 @@ func runOverhead(results []benchfmt.Result, family string, maxRatio float64, out
 	}
 	if bad {
 		fmt.Fprintln(os.Stderr, "benchgate: telemetry overhead regression (or missing data) — see above")
+		return 1
+	}
+	return 0
+}
+
+// runBatch is the -batch mode: the batch benchmark family holds a
+// perOp lane (the sequential Insert/Delete loop) and a batch64 lane
+// (the same ops through Apply in 64-op groups); the speedup
+// perOpNs/batch64Ns must clear minSpeedup. Each lane's ns/op is the
+// minimum across -count repeats (benchfmt.MinNsPerOp), so one noisy
+// sample cannot flip the gate either way; a missing lane fails it.
+func runBatch(results []benchfmt.Result, family string, minSpeedup float64, out string) int {
+	perOp, err1 := benchfmt.MinNsPerOp(results, family+"/perOp")
+	batch64, err2 := benchfmt.MinNsPerOp(results, family+"/batch64")
+	if err1 != nil || err2 != nil || batch64 <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: missing %s lane data (%v, %v) — a renamed benchmark must not pass the gate\n",
+			family, err1, err2)
+		return 1
+	}
+	speedup := perOp / batch64
+	findings := map[string]float64{
+		"per_op_ns_per_op":  perOp,
+		"batch64_ns_per_op": batch64,
+		"speedup":           speedup,
+		"speedup_min":       minSpeedup,
+	}
+	bad := false
+	status := "ok"
+	if speedup < minSpeedup {
+		status = fmt.Sprintf("FAIL (min %g)", minSpeedup)
+		bad = true
+	}
+	fmt.Printf("batch: perOp=%.0fns/op batch64=%.0fns/op speedup=%.2fx %s\n",
+		perOp, batch64, speedup, status)
+
+	if err := writeRecord(out, "ci_batch", "CI batched-submission gate",
+		fmt.Sprintf("64-op batches through Apply cost <= 1/%gx of the same churn submitted per op", minSpeedup),
+		findings); err != nil {
+		return fail(err)
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "benchgate: batch speedup regression (or missing data) — see above")
 		return 1
 	}
 	return 0

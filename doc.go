@@ -140,6 +140,54 @@
 // take no locks and are safe to call from the callback; they observe
 // the state as of the last completed operation.
 //
+// # Batching and async submission
+//
+// Every per-op call repeats the same front-end work: route the id,
+// take the shard lock, republish the read mirrors, stamp telemetry.
+// The batched surface — Apply on both facades, with InsertBatch and
+// DeleteBatch as wrappers — pays that once per group:
+//
+//	errs := s.Apply(realloc.Batch{
+//	    realloc.InsertOp(1, 4096),
+//	    realloc.DeleteOp(9),
+//	})
+//
+// A batch is a sequence, not a transaction: ops run in submission
+// order, op i's failure never prevents op j from running, and the
+// returned slice is nil on full success or has one slot per op at its
+// submission index. Final state, per-op errors, and observer event
+// order are exactly those of the equivalent loop of Insert and Delete
+// calls (the steady-state batched path allocates nothing). The sharded
+// Apply routes the whole batch against one route-table snapshot,
+// groups ops by owning shard, locks each touched shard exactly once in
+// ascending order (re-validating ownership under the lock, falling
+// back to the per-op path for ops a concurrent migration rerouted),
+// and merges errors back in submission order; same-id ops route
+// identically, so their relative order is preserved. Batched deletes
+// of rebalancer-migrated ids clear their route-table overrides in one
+// copy-on-write republish per shard group. The amortization is priced
+// by BenchmarkBatchChurn and gated in CI (cmd/benchgate -batch,
+// BENCH_ci_batch.json): 64-op batches must run front-end-bound churn
+// at ≥2x the per-op lane's throughput.
+//
+// WithAsync(depth) arms a submission pipeline on the sharded facade.
+// Submit(batch) validates and routes each op, pushes it into the
+// owning shard's bounded ring (one consumer goroutine per shard drains
+// rings into the batched path), and returns a Ticket immediately —
+// producers never block on flush execution. A full ring blocks Submit
+// until the consumer catches up: backpressure, not load shedding.
+// Ticket.Wait returns the batch's per-op errors with Apply's
+// semantics; Ticket.Done exposes a channel for select-based waiters.
+// Ops submitted by one goroutine execute on each shard in submission
+// order; ordering across goroutines is whatever the ring interleaving
+// makes it, like any concurrent per-op callers. Close drains every
+// accepted op before stopping the consumers; later submissions settle
+// with ErrClosed, and a Submit racing Close completes or fails as a
+// whole — never torn. With telemetry armed, group sizes land in the
+// BatchSize histogram, async ops record submit-to-complete
+// SubmitLatency, and sync batched ops stamp their insert/delete
+// latencies from batch-submission time.
+//
 // # Rebalancing
 //
 // Hash partitioning is static, so a skewed id population can pile most

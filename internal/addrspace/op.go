@@ -1,0 +1,12 @@
+package addrspace
+
+// Op is one request of a batched op group: an insert of Size cells
+// under ID, or (Del) a delete of ID. It lives here — the one leaf
+// package every engine already imports — so the cores, the engine
+// boundary, and the facades can all speak the same group record
+// without an import cycle.
+type Op struct {
+	ID   ID
+	Size int64
+	Del  bool
+}

@@ -148,6 +148,24 @@ func NsPerOp(results []Result, name string) (float64, error) {
 	return 0, fmt.Errorf("benchfmt: no result named %q", name)
 }
 
+// MinNsPerOp finds the fastest result for name across a -count repeat
+// run. Scheduler and cache noise on shared CI runners is strictly
+// additive, so the per-lane minimum is the most stable estimator for
+// ratio gates — it converges on the true cost as repeats grow instead
+// of wandering with the noise the way a single sample does.
+func MinNsPerOp(results []Result, name string) (float64, error) {
+	best, found := 0.0, false
+	for _, r := range results {
+		if r.Name == name && (!found || r.NsPerOp < best) {
+			best, found = r.NsPerOp, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("benchfmt: no result named %q", name)
+	}
+	return best, nil
+}
+
 // NsPerOpAt finds the result for name at an exact GOMAXPROCS count.
 func NsPerOpAt(results []Result, name string, procs int) (float64, error) {
 	for _, r := range results {

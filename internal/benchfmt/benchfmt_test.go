@@ -94,6 +94,30 @@ BenchmarkShardedParallel/mixed-8     	  30000	       100.0 ns/op
 	}
 }
 
+// TestMinNsPerOp covers the -count repeat lookup the batch gate uses:
+// the fastest of a name's samples wins, a single sample passes through,
+// and a missing name errors.
+func TestMinNsPerOp(t *testing.T) {
+	repeats := `BenchmarkBatchChurn/perOp    	 9000000	       250.0 ns/op
+BenchmarkBatchChurn/perOp    	 9000000	       240.0 ns/op
+BenchmarkBatchChurn/perOp    	 9000000	       260.0 ns/op
+BenchmarkBatchChurn/batch64  	25000000	       105.0 ns/op
+`
+	results, err := ParseBench(strings.NewReader(repeats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns, err := MinNsPerOp(results, "BenchmarkBatchChurn/perOp"); err != nil || ns != 240 {
+		t.Fatalf("MinNsPerOp over repeats: %v %v", ns, err)
+	}
+	if ns, err := MinNsPerOp(results, "BenchmarkBatchChurn/batch64"); err != nil || ns != 105 {
+		t.Fatalf("MinNsPerOp single sample: %v %v", ns, err)
+	}
+	if _, err := MinNsPerOp(results, "BenchmarkBatchChurn/missing"); err == nil {
+		t.Fatal("missing benchmark found")
+	}
+}
+
 func TestCurrentManifest(t *testing.T) {
 	m := CurrentManifest()
 	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" || m.GOMAXPROCS < 1 {

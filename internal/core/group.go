@@ -1,0 +1,23 @@
+package core
+
+import "realloc/internal/addrspace"
+
+// ApplyGroup services a batched op group through the same per-op entry
+// points the sequential stream uses: ops[i] runs as one Insert or
+// Delete, and its error lands in errs[i]. The algorithm is unchanged —
+// flush triggers, quotas, and checkpoints fire exactly as they would
+// op by op, so every paper bound holds verbatim over the group. What a
+// group entry buys the caller is the right to amortize everything
+// *outside* the core across the group: the facade locks once,
+// republishes its read mirrors once, and stamps telemetry once per
+// group instead of once per op. errs must have at least len(ops)
+// slots; slots for successful ops are set to nil.
+func (r *Reallocator) ApplyGroup(ops []addrspace.Op, errs []error) {
+	for i, op := range ops {
+		if op.Del {
+			errs[i] = r.Delete(op.ID)
+		} else {
+			errs[i] = r.Insert(op.ID, op.Size)
+		}
+	}
+}

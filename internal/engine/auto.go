@@ -249,6 +249,21 @@ func (a *autoEngine) Delete(id ID) error {
 	return a.inner.Delete(id)
 }
 
+// ApplyGroup loops the auto engine's own Insert and Delete rather than
+// delegating the group wholesale: the probe must observe every insert
+// size, and a coordinator decision landing mid-group must be able to
+// commit (and migrate the live set) between two ops of the group,
+// exactly as it would between two sequential requests.
+func (a *autoEngine) ApplyGroup(ops []addrspace.Op, errs []error) {
+	for i, op := range ops {
+		if op.Del {
+			errs[i] = a.Delete(op.ID)
+		} else {
+			errs[i] = a.Insert(op.ID, op.Size)
+		}
+	}
+}
+
 func (a *autoEngine) Extent(id ID) (addrspace.Extent, bool) { return a.inner.Extent(id) }
 func (a *autoEngine) Has(id ID) bool                        { return a.inner.Has(id) }
 func (a *autoEngine) SizeOf(id ID) (int64, bool)            { return a.inner.SizeOf(id) }

@@ -122,6 +122,12 @@ type Engine interface {
 	Insert(id ID, size int64) error
 	// Delete services 〈DeleteObject, id〉.
 	Delete(id ID) error
+	// ApplyGroup services a batched op group through the same per-op
+	// machinery as Insert and Delete — no algorithmic change — filling
+	// errs[i] with op i's result. errs must have at least len(ops)
+	// slots. The group entry lets callers amortize their own per-op
+	// overhead (locking, mirror republish, telemetry) across the group.
+	ApplyGroup(ops []addrspace.Op, errs []error)
 	// Extent returns the object's current physical placement.
 	Extent(id ID) (addrspace.Extent, bool)
 	// Has reports whether id is live.

@@ -1,0 +1,19 @@
+package fcs
+
+import "realloc/internal/addrspace"
+
+// ApplyGroup services a batched op group through the core's own Insert
+// and Delete, one per op, filling errs[i] with each op's result. The
+// amortized O(w/ε) bound is per update, so it holds verbatim over any
+// grouping; the group entry exists so callers can amortize their own
+// per-op overhead (locks, mirror republish, telemetry stamps) across
+// the group. errs must have at least len(ops) slots.
+func (r *Reallocator) ApplyGroup(ops []addrspace.Op, errs []error) {
+	for i, op := range ops {
+		if op.Del {
+			errs[i] = r.Delete(op.ID)
+		} else {
+			errs[i] = r.Insert(op.ID, op.Size)
+		}
+	}
+}

@@ -29,10 +29,18 @@ func E15(cfg Config) (*Result, error) {
 	const targetVol = 1 << 14
 	const maxSize = 16
 
+	// batch == 0 drives per-op Insert/Delete; batch > 0 submits churn
+	// through Apply in groups of that size (reads stay inline). The
+	// batched lanes measure what the batched front-end amortizes — one
+	// shard lock, one mirror publish, one telemetry stamp per group.
 	scenarios := []struct {
 		name    string
 		readPct int
-	}{{"read", 100}, {"mixed", 95}, {"churn", 0}}
+		batch   int
+	}{
+		{"read", 100, 0}, {"mixed", 95, 0}, {"churn", 0, 0},
+		{"mixedBatch64", 95, 64}, {"churnBatch64", 0, 64},
+	}
 
 	table := stats.NewTable("workload", "workers", "ops/sec", "speedup")
 	for _, sc := range scenarios {
@@ -58,6 +66,18 @@ func E15(cfg Config) (*Result, error) {
 				wg.Add(1)
 				go func(m *MixStream) {
 					defer wg.Done()
+					if sc.batch > 0 {
+						for i := 0; i < perWorker; i++ {
+							if err := m.StepBatched(s, sc.readPct, sc.batch); err != nil {
+								errs <- err
+								return
+							}
+						}
+						if err := m.Flush(s); err != nil {
+							errs <- err
+						}
+						return
+					}
 					for i := 0; i < perWorker; i++ {
 						if err := m.Step(s, sc.readPct); err != nil {
 							errs <- err

@@ -33,6 +33,11 @@ type MixStream struct {
 	flip      bool
 	targetVol int64
 	maxSize   int
+
+	// Batched-mode state: churn ops waiting for the next Apply, and the
+	// objects those pending inserts will add to live once it lands.
+	pend    realloc.Batch
+	pendIns []mixObj
 }
 
 // NewMixStream creates worker w's stream. Distinct (seed, worker) pairs
@@ -101,4 +106,78 @@ func (m *MixStream) Step(t MixTarget, readPct int) error {
 }
 
 // Live returns how many objects the stream currently keeps live.
+// Pending batched inserts count only after the Flush that applies them.
 func (m *MixStream) Live() int { return len(m.live) }
+
+// MixBatchTarget is a MixTarget that also offers the batched
+// submission surface; ShardedReallocator and Reallocator satisfy it.
+type MixBatchTarget interface {
+	MixTarget
+	Apply(realloc.Batch) []error
+}
+
+// StepBatched is Step with churn submitted through Apply: reads still
+// execute inline (they are synchronous questions, not mutations), while
+// insert/delete ops accumulate into a pending batch that flushes at
+// size ops. Delete victims leave the live set at enqueue time and
+// pending inserts join it only after their batch applies, so reads and
+// victim selection only ever touch objects the target has committed —
+// the stream stays valid no matter how submission and execution
+// interleave. Call Flush when the driving loop ends; up to size-1 ops
+// stay pending otherwise.
+func (m *MixStream) StepBatched(t MixBatchTarget, readPct, size int) error {
+	if m.rng.IntN(100) < readPct {
+		if len(m.live) == 0 {
+			if err := m.Flush(t); err != nil {
+				return err
+			}
+		}
+		o := m.live[m.rng.IntN(len(m.live))]
+		if m.flip = !m.flip; m.flip {
+			if _, ok := t.Extent(o.id); !ok {
+				return fmt.Errorf("lost id %d", o.id)
+			}
+		} else if !t.Has(o.id) {
+			return fmt.Errorf("lost id %d", o.id)
+		}
+		return nil
+	}
+	if m.vol < m.targetVol || len(m.live) == 0 || m.rng.IntN(2) == 0 {
+		id := m.base | m.next
+		m.next++
+		sz := int64(1 + m.rng.IntN(m.maxSize))
+		m.pend = append(m.pend, realloc.InsertOp(id, sz))
+		m.pendIns = append(m.pendIns, mixObj{id, sz})
+		m.vol += sz
+	} else {
+		j := m.rng.IntN(len(m.live))
+		o := m.live[j]
+		m.live[j] = m.live[len(m.live)-1]
+		m.live = m.live[:len(m.live)-1]
+		m.pend = append(m.pend, realloc.DeleteOp(o.id))
+		m.vol -= o.size
+	}
+	if len(m.pend) >= size {
+		return m.Flush(t)
+	}
+	return nil
+}
+
+// Flush applies the pending batch and commits its inserts to the live
+// set. A no-op when nothing is pending.
+func (m *MixStream) Flush(t MixBatchTarget) error {
+	if len(m.pend) == 0 {
+		return nil
+	}
+	if res := t.Apply(m.pend); res != nil {
+		for i, e := range res {
+			if e != nil {
+				return fmt.Errorf("batched op %d (%+v): %w", i, m.pend[i], e)
+			}
+		}
+	}
+	m.live = append(m.live, m.pendIns...)
+	m.pend = m.pend[:0]
+	m.pendIns = m.pendIns[:0]
+	return nil
+}

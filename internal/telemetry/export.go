@@ -55,6 +55,8 @@ type Summaries struct {
 	FlushMovedCells  Summary `json:"flush_moved_cells"`
 	FlushChunkCells  Summary `json:"flush_chunk_cells"`
 	MigrateLatencyNs Summary `json:"migrate_latency_ns"`
+	BatchSizeOps     Summary `json:"batch_size_ops"`
+	SubmitLatencyNs  Summary `json:"submit_latency_ns"`
 	Checkpoints      int64   `json:"checkpoints"`
 }
 
@@ -69,6 +71,8 @@ func (s *Snapshot) Summaries() Summaries {
 		FlushMovedCells:  s.FlushMoved.Summary(),
 		FlushChunkCells:  s.FlushChunk.Summary(),
 		MigrateLatencyNs: s.MigrateLatency.Summary(),
+		BatchSizeOps:     s.BatchSize.Summary(),
+		SubmitLatencyNs:  s.SubmitLatency.Summary(),
 		Checkpoints:      s.Checkpoints,
 	}
 }
@@ -96,6 +100,8 @@ func (s *Snapshot) AppendFindings(m map[string]float64, prefix string) {
 	add("flush_moved", "cells", &s.FlushMoved)
 	add("flush_chunk", "cells", &s.FlushChunk)
 	add("migrate_latency", "ns", &s.MigrateLatency)
+	add("batch_size", "ops", &s.BatchSize)
+	add("submit_latency", "ns", &s.SubmitLatency)
 	if s.Checkpoints != 0 {
 		m[prefix+"checkpoints"] = float64(s.Checkpoints)
 	}
@@ -172,6 +178,10 @@ func writePrometheus(w io.Writer, reg *Registry) {
 			func(s *Snapshot) *HistSnapshot { return &s.FlushChunk }},
 		{"realloc_migrate_latency_seconds", "Per-object rebalancer migration latency.", 1e-9,
 			func(s *Snapshot) *HistSnapshot { return &s.MigrateLatency }},
+		{"realloc_batch_size_ops", "Ops per executed batch group.", 1,
+			func(s *Snapshot) *HistSnapshot { return &s.BatchSize }},
+		{"realloc_submit_latency_seconds", "Async submit-to-complete latency per op.", 1e-9,
+			func(s *Snapshot) *HistSnapshot { return &s.SubmitLatency }},
 	}
 	for _, h := range hists {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)

@@ -22,6 +22,8 @@ func populatedRegistry(t *testing.T) *Registry {
 			set.DeleteLatency.Record(r.Int63n(1 << 18))
 			set.FlushDuration.Record(r.Int63n(1 << 24))
 			set.FlushMoved.Record(r.Int63n(4096))
+			set.BatchSize.Record(1 + r.Int63n(512))
+			set.SubmitLatency.Record(r.Int63n(1 << 22))
 		}
 		set.Checkpoints.Add(int64(10 * (i + 1)))
 	}
@@ -46,7 +48,12 @@ func TestPrometheusHandler(t *testing.T) {
 		`realloc_insert_latency_seconds_bucket{shard="1",`,
 		`realloc_flush_duration_seconds_count{shard="0"}`,
 		`realloc_checkpoints_total{shard="1"} 20`,
+		`realloc_batch_size_ops_bucket{shard="0",`,
+		`realloc_batch_size_ops_count{shard="1"}`,
+		`realloc_submit_latency_seconds_bucket{shard="1",`,
 		"# TYPE realloc_insert_latency_seconds histogram",
+		"# TYPE realloc_batch_size_ops histogram",
+		"# TYPE realloc_submit_latency_seconds histogram",
 		"# TYPE realloc_checkpoints_total counter",
 	} {
 		if !strings.Contains(body, want) {

@@ -129,6 +129,30 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// RecordN adds n observations of the same value — exactly equivalent
+// to n Record(v) calls but with one sum add, one bucket add, and one
+// max update. The batched facades use it to stamp a group's identical
+// per-op latencies without paying per-op atomic traffic.
+func (h *Histogram) RecordN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.sum.Add(v * n)
+	h.buckets[bucketOf(v)].Add(n)
+	for {
+		m := h.max.Load()
+		if v <= m {
+			return
+		}
+		if h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
 // AddTo accumulates the histogram's current contents into snap.
 // Callers reuse one HistSnapshot across many histograms to aggregate
 // (per-shard sets summing into one registry view) without allocating.
@@ -227,6 +251,8 @@ type Set struct {
 	FlushMoved     Histogram // cells moved per completed flush
 	FlushChunk     Histogram // cells moved per deamortized session chunk
 	MigrateLatency Histogram // per-object rebalancer migration latency
+	BatchSize      Histogram // ops per executed batch group (Apply / async drains)
+	SubmitLatency  Histogram // async submit-to-complete latency per op
 	Checkpoints    Counter   // checkpointed placements (checkpointed/deamortized variants)
 }
 
@@ -239,6 +265,8 @@ func (s *Set) AddTo(snap *Snapshot) {
 	s.FlushMoved.AddTo(&snap.FlushMoved)
 	s.FlushChunk.AddTo(&snap.FlushChunk)
 	s.MigrateLatency.AddTo(&snap.MigrateLatency)
+	s.BatchSize.AddTo(&snap.BatchSize)
+	s.SubmitLatency.AddTo(&snap.SubmitLatency)
 	snap.Checkpoints += s.Checkpoints.Load()
 }
 
@@ -253,6 +281,8 @@ type Snapshot struct {
 	FlushMoved     HistSnapshot
 	FlushChunk     HistSnapshot
 	MigrateLatency HistSnapshot
+	BatchSize      HistSnapshot
+	SubmitLatency  HistSnapshot
 	Checkpoints    int64
 	Shards         int
 }

@@ -72,6 +72,27 @@ func TestHistogramRecord(t *testing.T) {
 	}
 }
 
+// TestHistogramRecordN pins RecordN(v, n) as exactly n Record(v) calls,
+// including the negative clamp and the no-op on n <= 0.
+func TestHistogramRecordN(t *testing.T) {
+	var coalesced, looped Histogram
+	for _, c := range []struct{ v, n int64 }{{0, 3}, {5, 64}, {100, 1}, {-3, 2}, {7, 0}, {9, -1}} {
+		coalesced.RecordN(c.v, c.n)
+		for i := int64(0); i < c.n; i++ {
+			looped.Record(c.v)
+		}
+	}
+	var a, b HistSnapshot
+	coalesced.AddTo(&a)
+	looped.AddTo(&b)
+	if a != b {
+		t.Fatalf("RecordN diverged from looped Record:\n got %+v\nwant %+v", a, b)
+	}
+	if a.Count != 70 || a.Max != 100 {
+		t.Fatalf("Count/Max = %d/%d, want 70/100", a.Count, a.Max)
+	}
+}
+
 // quantileOracle is the exact empirical quantile the histogram
 // approximates: the rank-⌈q·n⌉ element of the sorted sample.
 func quantileOracle(sorted []int64, q float64) int64 {
@@ -285,6 +306,8 @@ func TestTelemetryReadsAllocationFree(t *testing.T) {
 		for n := 0; n < 1000; n++ {
 			set.InsertLatency.Record(r.Int63n(1 << 40))
 			set.FlushDuration.Record(r.Int63n(1 << 25))
+			set.BatchSize.Record(1 + r.Int63n(512))
+			set.SubmitLatency.Record(r.Int63n(1 << 22))
 		}
 	}
 	var snap Snapshot
@@ -298,6 +321,8 @@ func TestTelemetryReadsAllocationFree(t *testing.T) {
 		reg.ReadSnapshot(&snap)
 		_ = snap.InsertLatency.Quantile(0.99)
 		_ = snap.FlushDuration.Quantile(0.99)
+		_ = snap.BatchSize.Quantile(0.99)
+		_ = snap.SubmitLatency.Quantile(0.99)
 	}); a != 0 {
 		t.Fatalf("snapshot + quantiles allocates %.1f/op, want 0", a)
 	}

@@ -1,0 +1,43 @@
+package workload
+
+// BatchStream regroups a Stream's ops into fixed-size batches for the
+// batched facade surfaces (Apply/Submit). The op sequence is exactly
+// the underlying stream's — batching changes submission granularity,
+// never content — so per-op and batched replays of the same seed stay
+// comparable.
+type BatchStream struct {
+	s    Stream
+	size int
+	buf  []Op
+}
+
+// Batched wraps s so ops arrive in groups of size (the final group may
+// be shorter). Sizes below 1 are clamped to 1, which degenerates to
+// the per-op stream.
+func Batched(s Stream, size int) *BatchStream {
+	if size < 1 {
+		size = 1
+	}
+	return &BatchStream{s: s, size: size, buf: make([]Op, 0, size)}
+}
+
+// Name implements the Stream naming convention.
+func (b *BatchStream) Name() string { return b.s.Name() }
+
+// NextBatch returns the next group of ops; ok=false ends the stream.
+// The returned slice is reused by the next call — consumers that keep
+// batches must copy them.
+func (b *BatchStream) NextBatch() ([]Op, bool) {
+	b.buf = b.buf[:0]
+	for len(b.buf) < b.size {
+		op, ok := b.s.Next()
+		if !ok {
+			break
+		}
+		b.buf = append(b.buf, op)
+	}
+	if len(b.buf) == 0 {
+		return nil, false
+	}
+	return b.buf, true
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestBatchedPreservesOpSequence pins the wrapper's contract: the
+// concatenation of the batches is exactly the underlying stream, with
+// a short final batch and a degenerate size-1 form.
+func TestBatchedPreservesOpSequence(t *testing.T) {
+	mk := func() Stream {
+		return &Churn{Seed: 9, Sizes: Uniform{Min: 1, Max: 8}, TargetVolume: 256}
+	}
+	want := Collect(mk(), 1000)
+	for _, size := range []int{1, 7, 64, 1000, 4096} {
+		bs := Batched(Replay("r", want), size)
+		var got []Op
+		batches := 0
+		for {
+			b, ok := bs.NextBatch()
+			if !ok {
+				break
+			}
+			if len(b) > size {
+				t.Fatalf("size %d: batch of %d ops", size, len(b))
+			}
+			if len(b) < size && len(got)+len(b) != len(want) {
+				t.Fatalf("size %d: short batch (%d ops) before the stream end", size, len(b))
+			}
+			got = append(got, b...)
+			batches++
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("size %d: batched sequence diverged (%d vs %d ops)", size, len(got), len(want))
+		}
+		wantBatches := (len(want) + size - 1) / size
+		if batches != wantBatches {
+			t.Fatalf("size %d: %d batches, want %d", size, batches, wantBatches)
+		}
+	}
+	if got := Batched(Replay("r", nil), 0).size; got != 1 {
+		t.Fatalf("size 0 clamped to %d, want 1", got)
+	}
+	if _, ok := Batched(Replay("r", nil), 8).NextBatch(); ok {
+		t.Fatal("empty stream produced a batch")
+	}
+}

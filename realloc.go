@@ -73,6 +73,7 @@ type config struct {
 	shardsSet   bool
 	rebalance   *RebalancePolicy
 	tel         *telemetry.Registry
+	async       int
 }
 
 // validateEpsilon enforces the public contract at the constructor
@@ -211,6 +212,17 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *config) { c.tel = reg }
 }
 
+// WithAsync arms the per-shard asynchronous submission pipeline on a
+// sharded reallocator: Submit routes a batch once, pushes each op into
+// its owning shard's bounded ring (depth slots per shard), and returns
+// a Ticket immediately; one consumer goroutine per shard drains its
+// ring into the batched execution path, so submitters never block on
+// flush execution — only on a full ring (backpressure). depth must be
+// >= 1. It only applies to NewSharded; passing it to New is an error.
+// Call Close when done: it drains every accepted request and stops the
+// consumers.
+func WithAsync(depth int) Option { return func(c *config) { c.async = depth } }
+
 // WithRebalance arms dynamic cross-shard rebalancing on a sharded
 // reallocator: per-shard live volume is watched, and once the imbalance
 // ratio max/mean exceeds the policy threshold, bounded batches of objects
@@ -231,6 +243,10 @@ type Reallocator struct {
 	// telReg is the whole registry, kept for Stats aggregation.
 	tel    *telemetry.Set
 	telReg *telemetry.Registry
+	// bs is the batched-path scratch; Apply touches it only under the
+	// facade lock (or the caller's external serialization, same as every
+	// other mutation without WithLocking).
+	bs batchScratch
 }
 
 // newRecorder builds the recorder chain one reallocator core emits into:
@@ -276,6 +292,9 @@ func New(opts ...Option) (*Reallocator, error) {
 	}
 	if cfg.rebalance != nil {
 		return nil, errors.New("realloc: WithRebalance requires NewSharded")
+	}
+	if cfg.async != 0 {
+		return nil, errors.New("realloc: WithAsync requires NewSharded")
 	}
 	if err := validateEpsilon(cfg.epsilon); err != nil {
 		return nil, err

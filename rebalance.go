@@ -97,11 +97,16 @@ func (s *ShardedReallocator) Migrations() (objects int64, volume int64) {
 // their hash home — the size of the id→shard override table.
 func (s *ShardedReallocator) RouteOverrides() int { return s.router.overrideCount() }
 
-// Close stops the background rebalancer goroutine, if any, and returns
-// the first error any triggered sweep (background or inline) hit. It is
-// idempotent; without a background policy it only reports the error.
+// Close shuts down the reallocator's goroutines: it drains and stops
+// the async submission pipeline, if WithAsync armed one (every accepted
+// request executes before Close returns; later Submits settle with
+// ErrClosed), then stops the background rebalancer goroutine, if any,
+// and returns the first error any triggered sweep (background or
+// inline) hit. It is idempotent; the synchronous methods remain usable
+// after Close.
 func (s *ShardedReallocator) Close() error {
 	s.closeOnce.Do(func() {
+		s.closeAsync()
 		if s.stop != nil {
 			close(s.stop)
 			<-s.done

@@ -85,6 +85,17 @@ type ShardedReallocator struct {
 	costScratch sync.Pool
 	lineScratch sync.Pool
 	telScratch  sync.Pool
+	// applyPool recycles the batched path's grouping scratch, so
+	// steady-state Apply calls allocate nothing.
+	applyPool sync.Pool
+
+	// Async submission pipeline state (nil/zero without WithAsync); see
+	// async.go.
+	rings     []chan asyncReq
+	asyncCap  int
+	asyncMu   sync.RWMutex
+	asyncDown bool
+	asyncWG   sync.WaitGroup
 
 	// rebalanceMu serializes sweeps; errMu guards the sticky background
 	// error returned by Close.
@@ -207,6 +218,9 @@ type router struct {
 	n       int
 	table   atomic.Pointer[routeTable]
 	writeMu sync.Mutex
+	// publishes counts table publications; white-box tests pin the
+	// one-republish-per-batch contract of the batched paths on it.
+	publishes atomic.Int64
 }
 
 func newRouter(n int) *router {
@@ -251,6 +265,7 @@ func (rt *router) update(edit func(m map[int64]int) bool) {
 		t.overrides = next
 	}
 	rt.table.Store(t)
+	rt.publishes.Add(1)
 }
 
 // setAll records that every id in ids now lives on shard, in one
@@ -355,6 +370,7 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 		return &b
 	}
 	s.telScratch.New = func() any { return new(telemetry.Snapshot) }
+	s.applyPool.New = func() any { return new(shardedApplyScratch) }
 	ec, err := cfg.resolveCore()
 	if err != nil {
 		return nil, err
@@ -377,6 +393,20 @@ func NewSharded(opts ...Option) (*ShardedReallocator, error) {
 			return nil, err
 		}
 		s.shards[i] = &shard{inner: inner, metrics: m, tel: set}
+	}
+	if cfg.async != 0 {
+		if cfg.async < 1 {
+			return nil, fmt.Errorf("realloc: WithAsync depth must be >= 1, got %d", cfg.async)
+		}
+		s.asyncCap = cfg.async
+		s.rings = make([]chan asyncReq, n)
+		for i := range s.rings {
+			s.rings[i] = make(chan asyncReq, cfg.async)
+		}
+		s.asyncWG.Add(n)
+		for i := 0; i < n; i++ {
+			go s.consumeRing(i)
+		}
 	}
 	if cfg.rebalance != nil {
 		pol := toInternalPolicy(*cfg.rebalance).WithDefaults()
