@@ -212,6 +212,28 @@ func BenchmarkChurnTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnBackend prices what paying real memmoves costs: the
+// same steady-state churn through the public facade on the metered
+// backend (moved volume is counted, no bytes exist) and on the heap
+// arena (every relocation physically copies the object's extent), for
+// the reference and the FCS core. cmd/benchgate's -bytes lane compares
+// each heap/metered pair and fails CI when real copies inflate per-op
+// cost beyond its bound — the honest price of the cost model's "moved
+// volume" unit.
+func BenchmarkChurnBackend(b *testing.B) {
+	for _, c := range []realloc.Core{realloc.CorePODS14, realloc.CoreFCS} {
+		for _, bk := range []realloc.Backend{realloc.Metered, realloc.HeapArena} {
+			b.Run(fmt.Sprintf("%s/%s", c, bk), func(b *testing.B) {
+				r, err := realloc.New(realloc.WithEpsilon(0.25), realloc.WithCore(c), realloc.WithBackend(bk))
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchChurnTargetVolume(b, publicAdapter{r}, 100000)
+			})
+		}
+	}
+}
+
 // concurrentTarget is the surface the parallel churn benchmarks drive;
 // the locked single-core facade and the sharded facade both satisfy it.
 type concurrentTarget interface {

@@ -1,6 +1,9 @@
 package realloc
 
-import "realloc/internal/btl"
+import (
+	"realloc/internal/arena"
+	"realloc/internal/btl"
+)
 
 // BlockStore is a crash-consistent database block store: logical block
 // names translate to physical extents managed by a checkpointed
@@ -26,6 +29,15 @@ func BlockStoreDeamortized() BlockStoreOption {
 	return func(c *btl.Config) { c.Deamortized = true }
 }
 
+// BlockStoreBackend selects the payload data backend (default Metered).
+// With a real backend, Put stores each block's bytes at its physical
+// extent, Get reads them back, and Recover verifies every durable
+// block's payload checksum against the raw cells that survived the
+// crash.
+func BlockStoreBackend(b Backend) BlockStoreOption {
+	return func(c *btl.Config) { c.Backend = arena.Kind(b) }
+}
+
 // NewBlockStore creates an empty block store.
 func NewBlockStore(opts ...BlockStoreOption) (*BlockStore, error) {
 	var cfg btl.Config
@@ -39,8 +51,19 @@ func NewBlockStore(opts ...BlockStoreOption) (*BlockStore, error) {
 	return &BlockStore{inner: inner}, nil
 }
 
-// Put creates a block.
-func (s *BlockStore) Put(name string, size int64) error { return s.inner.Put(name, size) }
+// Put creates a block holding data (size = len(data)). On a real
+// backend (see BlockStoreBackend) the bytes are physically stored at
+// the block's extent and follow it through every reallocation; under
+// the default Metered backend only the extent bookkeeping happens.
+func (s *BlockStore) Put(name string, data []byte) error { return s.inner.Put(name, data) }
+
+// Reserve creates a block of the given size with no payload — the
+// cost-model form of Put for workloads that only exercise placement.
+func (s *BlockStore) Reserve(name string, size int64) error { return s.inner.Reserve(name, size) }
+
+// Get returns a copy of a block's payload bytes; it fails unless the
+// block was written through Put on a real backend.
+func (s *BlockStore) Get(name string) ([]byte, error) { return s.inner.Get(name) }
 
 // Update rewrites a block at a new size.
 func (s *BlockStore) Update(name string, size int64) error { return s.inner.Update(name, size) }
@@ -57,7 +80,11 @@ func (s *BlockStore) Lookup(name string) (Extent, bool) {
 // Len returns the number of live blocks.
 func (s *BlockStore) Len() int { return s.inner.Len() }
 
-// Footprint returns the largest allocated disk address.
+// Footprint returns the largest allocated address in the store's
+// address space — the end of the region a disk-backed deployment would
+// have to provision. (Nothing here touches a disk: with a real backend
+// the cells live in memory, and under Metered they are bookkeeping
+// only.)
 func (s *BlockStore) Footprint() int64 { return s.inner.Footprint() }
 
 // Volume returns the total live block volume.

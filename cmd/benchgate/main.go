@@ -43,6 +43,16 @@
 //	    benchgate -batch [-batchBench BenchmarkBatchChurn]
 //	    [-minBatchSpeedup 2] [-out BENCH_ci_batch.json]
 //
+// With -bytes, it gates the cost of paying real memmoves: every
+// <core>/heap result of the backend benchmark must be within
+// -maxBytesOverhead (default 1.75) of its <core>/metered twin, so a
+// change that silently inflates the physical cost of the cost model's
+// "moved volume" unit fails CI:
+//
+//	go test -run '^$' -bench BenchmarkChurnBackend -benchtime 30000x . | \
+//	    benchgate -bytes [-bytesBench BenchmarkChurnBackend]
+//	    [-maxBytesOverhead 1.75] [-out BENCH_ci_bytes.json]
+//
 // Any gate fails (exit 1) when its ratio is out of bounds or when
 // expected results are missing — a silent benchmark rename must not
 // pass the gate.
@@ -88,6 +98,9 @@ func run() int {
 		batch         = flag.Bool("batch", false, "gate batched-vs-per-op churn speedup instead of churn ratios")
 		batchBench    = flag.String("batchBench", "BenchmarkBatchChurn", "batch speedup benchmark family")
 		minBatch      = flag.Float64("minBatchSpeedup", 2, "required perOp/batch64 ns/op speedup")
+		bytesMode     = flag.Bool("bytes", false, "gate real-backend (heap) vs metered churn cost instead of churn ratios")
+		bytesBench    = flag.String("bytesBench", "BenchmarkChurnBackend", "backend cost benchmark family")
+		maxBytes      = flag.Float64("maxBytesOverhead", 1.75, "max allowed heap/metered ns/op ratio per core")
 	)
 	flag.Parse()
 
@@ -116,6 +129,10 @@ func run() int {
 	if *batch {
 		return runBatch(results, *batchBench, *minBatch,
 			defaultOut(*out, "BENCH_ci_batch.json"))
+	}
+	if *bytesMode {
+		return runBytes(results, *bytesBench, *maxBytes,
+			defaultOut(*out, "BENCH_ci_bytes.json"))
 	}
 	*out = defaultOut(*out, "BENCH_ci_churn.json")
 
@@ -326,6 +343,66 @@ func runBatch(results []benchfmt.Result, family string, minSpeedup float64, out 
 	}
 	if bad {
 		fmt.Fprintln(os.Stderr, "benchgate: batch speedup regression (or missing data) — see above")
+		return 1
+	}
+	return 0
+}
+
+// runBytes is the -bytes mode: the backend benchmark family holds
+// <core>/metered and <core>/heap twins over an identical churn stream;
+// every core's heap/metered ns/op ratio must stay within maxRatio —
+// the price of physically memmoving payload bytes instead of counting
+// them — and a core with only one half of the pair fails the gate.
+func runBytes(results []benchfmt.Result, family string, maxRatio float64, out string) int {
+	prefix := family + "/"
+	cores := map[string]bool{}
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		if c, _, ok := strings.Cut(strings.TrimPrefix(r.Name, prefix), "/"); ok {
+			cores[c] = true
+		}
+	}
+	if len(cores) == 0 {
+		return fail(fmt.Errorf("no %s/* results in the input", family))
+	}
+	order := make([]string, 0, len(cores))
+	for c := range cores {
+		order = append(order, c)
+	}
+	sort.Strings(order)
+
+	findings := map[string]float64{}
+	bad := false
+	for _, c := range order {
+		meteredNs, err1 := benchfmt.NsPerOp(results, prefix+c+"/metered")
+		heapNs, err2 := benchfmt.NsPerOp(results, prefix+c+"/heap")
+		if err1 != nil || err2 != nil || meteredNs <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: incomplete metered/heap pair for %s (%v, %v)\n", c, err1, err2)
+			bad = true
+			continue
+		}
+		ratio := heapNs / meteredNs
+		findings[c+"/ns_per_op_metered"] = meteredNs
+		findings[c+"/ns_per_op_heap"] = heapNs
+		findings[c+"/bytes_ratio"] = ratio
+		findings[c+"/bytes_limit"] = maxRatio
+		status := "ok"
+		if ratio > maxRatio {
+			status = fmt.Sprintf("FAIL (limit %g)", maxRatio)
+			bad = true
+		}
+		fmt.Printf("%s: metered=%.0fns/op heap=%.0fns/op cost=%.2fx %s\n", c, meteredNs, heapNs, ratio, status)
+	}
+
+	if err := writeRecord(out, "ci_bytes", "CI real-backend cost gate",
+		fmt.Sprintf("churn on the heap arena (real memmoves) stays within %gx of the metered backend per core", maxRatio),
+		findings); err != nil {
+		return fail(err)
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "benchgate: real-backend cost regression (or missing data) — see above")
 		return 1
 	}
 	return 0

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	reallocbench [-e E1|E2|...|E16|all] [-seed N] [-ops N] [-quick] [-list]
-//	            [-core pods14|fcs|auto] [-cpuprofile FILE] [-memprofile FILE]
+//	reallocbench [-e E1|E2|...|E17|all] [-seed N] [-ops N] [-quick] [-list]
+//	            [-core pods14|fcs|auto] [-backend metered|heap|mmap]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-json] [-outdir DIR] [-telemetry] [-http ADDR]
 //
 // With -json, each experiment additionally writes a machine-readable
@@ -50,11 +51,12 @@ func main() {
 // corrupt the very artifacts a profiled run exists to produce.
 func run() int {
 	var (
-		which      = flag.String("e", "all", "experiment to run (E1..E16 or 'all')")
+		which      = flag.String("e", "all", "experiment to run (E1..E17 or 'all')")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		ops        = flag.Int("ops", 0, "request budget per run (0 = experiment default)")
 		quick      = flag.Bool("quick", false, "reduced scale for a fast pass")
 		coreName   = flag.String("core", "", "restrict cross-core experiments to one core (pods14, fcs, auto; empty = all)")
+		backend    = flag.String("backend", "", "restrict cross-backend experiments to one payload backend (metered, heap, mmap; empty = metered+heap)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to `file`")
@@ -102,7 +104,7 @@ func run() int {
 		}
 	}()
 
-	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick, Core: *coreName}
+	cfg := exp.Config{Seed: *seed, Ops: *ops, Quick: *quick, Core: *coreName, Backend: *backend}
 	// Each experiment records into a fresh registry so its findings (and
 	// the live HTTP view) describe that run alone; liveReg is what the
 	// debug server reads, swapped atomically as experiments advance.
@@ -155,7 +157,7 @@ func run() int {
 		}
 		rec := benchfmt.Record{
 			ID: e.ID, Title: e.Title, Claim: e.Claim,
-			Seed: *seed, Ops: *ops, Core: *coreName, Quick: *quick,
+			Seed: *seed, Ops: *ops, Core: *coreName, Backend: *backend, Quick: *quick,
 			Timestamp: start.UTC(), GoVersion: manifest.GoVersion,
 			Seconds:  time.Since(start).Seconds(),
 			Findings: res.Findings,

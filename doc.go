@@ -69,6 +69,49 @@
 // (internal/engine) pin this, and experiment E16 sweeps every core's
 // cost against ε on uniform, zipf, and adversarial workloads.
 //
+// # Backends
+//
+// By default the cells of the address space are metered, not
+// materialized: every move is counted at exactly the cost a real
+// backend would pay (one cell = one byte), but no bytes exist and no
+// copies run. WithBackend swaps in a real payload backend, below the
+// placement policy, on either facade:
+//
+//   - Metered (default): moved volume is counted, nothing is copied.
+//   - HeapArena: payload lives in a growable Go byte slice; every
+//     scheduled relocation physically memmoves the object's extent.
+//   - MmapArena: payload lives in an anonymous private memory mapping
+//     (heap fallback on platforms without mmap).
+//
+// With a real backend, the payload written before any number of
+// relocations reads back intact after all of them:
+//
+//	r, _ := realloc.New(realloc.WithBackend(realloc.HeapArena))
+//	r.Insert(1, 10)
+//	r.Write(1, []byte("hello, 10b"))
+//	buf, _ := r.Bytes(1)   // intact across any number of relocations
+//
+// The backend never changes a placement decision: on identical input,
+// Metered and HeapArena produce identical event streams and extents (a
+// differential test pins this), and their BytesMoved counters agree
+// exactly with the trace's moved volume — the paper's cost unit — which
+// is what makes the metered counters the real cost rather than an
+// estimate. Experiment E17 validates the three-way match and prices the
+// unit in wall-clock bytes/ns.
+//
+// With a real backend armed, Write, Read, and Bytes access an object's
+// payload; Backend reports the selection and BytesMoved the bytes
+// physically moved so far. On the sharded facade each shard owns a
+// private arena: Write takes the owning shard's write lock, Read its
+// read lock (reads of one shard proceed together), and Bytes returns a
+// copy — a concurrent insert may relocate the object the moment the
+// shard lock drops. Cross-shard migrations carry payload with the
+// object; BytesMoved counts relocations within an address space, and a
+// migration is a delete plus an insert, not a relocation. BlockStore
+// (BlockStoreBackend) builds checksummed crash-consistent durability on
+// the same surface: Put records a crc64 checksum and Recover re-verifies
+// every durable block's bytes at its checkpointed extent.
+//
 // # Concurrency and sharding
 //
 // A Reallocator is not safe for concurrent use unless built WithLocking,

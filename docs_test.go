@@ -1,0 +1,62 @@
+package realloc_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target) or
+// ![alt](target). Reference-style links are not used in this repo.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// TestDocLinks fails when a relative link in the top-level documents
+// points at a file that does not exist. The CI docs job runs this so a
+// refactor that renames a file cannot silently orphan the prose that
+// references it. External URLs and bare anchors are out of scope; a
+// relative target's own #fragment is stripped before the check.
+func TestDocLinks(t *testing.T) {
+	// README and ARCHITECTURE are the navigational documents — they must
+	// exist and their links must hold. The rest are checked when present.
+	required := []string{"README.md", "ARCHITECTURE.md"}
+	optional := []string{"EXPERIMENTS.md", "ROADMAP.md", "PAPER.md", "CHANGES.md"}
+
+	var docs []string
+	for _, name := range required {
+		if _, err := os.Stat(name); err != nil {
+			t.Errorf("%s: required document missing: %v", name, err)
+			continue
+		}
+		docs = append(docs, name)
+	}
+	for _, name := range optional {
+		if _, err := os.Stat(name); err == nil {
+			docs = append(docs, name)
+		}
+	}
+
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // intra-document anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			path := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken relative link %q: %v", doc, m[1], err)
+			}
+		}
+	}
+}

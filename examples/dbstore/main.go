@@ -27,7 +27,7 @@ func main() {
 	fmt.Println("creating 500 blocks...")
 	for i := 0; i < 500; i++ {
 		name := fmt.Sprintf("node-%04d", i)
-		if err := store.Put(name, 16+rng.Int64N(240)); err != nil {
+		if err := store.Reserve(name, 16+rng.Int64N(240)); err != nil {
 			log.Fatal(err)
 		}
 	}

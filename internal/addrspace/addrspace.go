@@ -23,6 +23,8 @@ package addrspace
 import (
 	"errors"
 	"fmt"
+
+	"realloc/internal/arena"
 )
 
 // ID identifies an object. IDs are assigned by the caller and must be
@@ -53,6 +55,7 @@ var (
 	ErrUnknownObject = errors.New("addrspace: unknown object")
 	ErrDuplicate     = errors.New("addrspace: object already placed")
 	ErrBadExtent     = errors.New("addrspace: extent must have Start >= 0 and Size >= 1")
+	ErrNoData        = errors.New("addrspace: no real payload backend (see arena.Backend)")
 )
 
 // Options configures the physical rules a Space enforces.
@@ -68,6 +71,11 @@ type Options struct {
 	// cell holds, including stale copies left by moves. Needed only by
 	// data-integrity and crash-recovery tests; costs O(max address) memory.
 	TrackCells bool
+	// Data is the payload backend relocations write through: every
+	// applied move memmoves the object's bytes (or, for the metered
+	// backend, counts them). Nil means no backend at all — moves touch
+	// only the index, and payload access reports ErrNoData.
+	Data arena.Backend
 }
 
 // RAM returns the permissive configuration used by the Section 2
@@ -93,6 +101,8 @@ type Space struct {
 	objects map[ID]Extent
 	byStart pindex // sorted by ext.Start; extents pairwise disjoint
 
+	data arena.Backend // payload backend, nil for index-only spaces
+
 	freed intervalSet // space freed since last checkpoint (CheckpointRule)
 
 	cells []ID // cell-level data residue, if TrackCells
@@ -109,7 +119,7 @@ type Space struct {
 
 // New creates an empty Space with the given rules.
 func New(opts Options) *Space {
-	return &Space{opts: opts, objects: make(map[ID]Extent)}
+	return &Space{opts: opts, data: opts.Data, objects: make(map[ID]Extent)}
 }
 
 // Options returns the rules this space enforces.
@@ -263,6 +273,13 @@ func (s *Space) Place(id ID, ext Extent) error {
 	s.objects[id] = ext
 	s.insertPlacement(id, ext)
 	s.stampCells(ext, id)
+	if s.data != nil {
+		// Make the extent addressable; the payload content is whatever
+		// the cells held (callers write it via WriteData). Adoption
+		// handoffs between engines rely on placement NOT clearing cells:
+		// an object adopted at its old address keeps its bytes.
+		s.data.Ensure(ext.End())
+	}
 	s.volume += ext.Size
 	s.places++
 	return nil
@@ -286,6 +303,9 @@ func (s *Space) Move(id ID, newStart int64) error {
 	s.relocatePlacement(id, old, ext)
 	s.objects[id] = ext
 	s.stampCells(ext, id)
+	if s.data != nil {
+		s.data.Copy(ext.Start, old.Start, old.Size)
+	}
 	if s.opts.CheckpointRule {
 		// The part of the old extent not covered by the new one is freed.
 		// With strict nonoverlap that is all of it; with memmove semantics

@@ -369,6 +369,13 @@ func (s *Space) executeBulk(plan []Relocation, b *batchState, consumed int, cutP
 			}
 		}
 		s.stampCells(target, mv.ID)
+		if s.data != nil {
+			// Plan order is overlap-safe: each step's target is disjoint
+			// from every other live object at that instant (flush
+			// schedules guarantee intermediate layouts), and a step that
+			// overlaps its own source is a single memmove.
+			s.data.Copy(target.Start, oldStart, size)
+		}
 		s.moves++
 		volume += size
 		b.curStart[mv.Ref] = target.Start

@@ -1,0 +1,254 @@
+package addrspace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"realloc/internal/arena"
+)
+
+func newDataSpace(t *testing.T, opts Options, kind arena.Kind) *Space {
+	t.Helper()
+	b, err := arena.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Data = b
+	return New(opts)
+}
+
+// pattern fills a deterministic per-object byte pattern.
+func pattern(id ID, size int64) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = byte(int64(id)*31 + int64(i)*7)
+	}
+	return p
+}
+
+// checkPayloads verifies every object's bytes still match its pattern.
+func checkPayloads(t *testing.T, s *Space, live map[ID]int64) {
+	t.Helper()
+	for id, size := range live {
+		got := make([]byte, size)
+		if _, err := s.ReadData(id, got); err != nil {
+			t.Fatalf("ReadData(%d): %v", id, err)
+		}
+		if want := pattern(id, size); !bytes.Equal(got, want) {
+			t.Fatalf("object %d payload corrupted: got %v want %v", id, got[:min(8, len(got))], want[:min(8, len(want))])
+		}
+	}
+}
+
+// TestPayloadAccess covers the WriteData/ReadData/DataBytes contract on
+// real, metered, and absent backends.
+func TestPayloadAccess(t *testing.T) {
+	s := newDataSpace(t, RAM(), arena.Heap)
+	if err := s.Place(1, Extent{Start: 5, Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteData(1, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteData(1, []byte("abcde")); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	if err := s.WriteData(9, []byte("x")); err == nil {
+		t.Fatal("write to unknown object accepted")
+	}
+	buf := make([]byte, 8)
+	n, err := s.ReadData(1, buf)
+	if err != nil || n != 4 || string(buf[:4]) != "abcd" {
+		t.Fatalf("ReadData = %d, %v, %q", n, err, buf[:4])
+	}
+	if b, ok := s.DataBytes(1); !ok || string(b) != "abcd" {
+		t.Fatalf("DataBytes = %q, %v", b, ok)
+	}
+
+	m := newDataSpace(t, RAM(), arena.Metered)
+	if err := m.Place(1, Extent{Start: 0, Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteData(1, []byte("ab")); err != ErrNoData {
+		t.Fatalf("metered WriteData err = %v, want ErrNoData", err)
+	}
+	if _, ok := m.DataBytes(1); ok {
+		t.Fatal("metered DataBytes succeeded")
+	}
+
+	bare := New(RAM())
+	if err := bare.Place(1, Extent{Start: 0, Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.WriteData(1, []byte("ab")); err != ErrNoData {
+		t.Fatalf("bare WriteData err = %v, want ErrNoData", err)
+	}
+}
+
+// TestMoveCarriesPayload: per-move relocation (including an overlapping
+// self-move in RAM mode) carries bytes.
+func TestMoveCarriesPayload(t *testing.T) {
+	s := newDataSpace(t, RAM(), arena.Heap)
+	if err := s.Place(7, Extent{Start: 10, Size: 6}); err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(7, 6)
+	if err := s.WriteData(7, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, to := range []int64{40, 38, 39, 0} { // disjoint, overlap, overlap, far
+		if err := s.Move(7, to); err != nil {
+			t.Fatalf("Move to %d: %v", to, err)
+		}
+		got, _ := s.DataBytes(7)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("after move to %d: payload %v, want %v", to, got, want)
+		}
+	}
+}
+
+// TestBulkAndSessionCarryPayload drives the same randomized plan
+// through ApplyMoves, a single-chunk session, and a many-chunk session
+// (both with and without an emitter), checking payload integrity and
+// identical BytesMoved after each.
+func TestBulkAndSessionCarryPayload(t *testing.T) {
+	type runner struct {
+		name string
+		run  func(s *Space, plan []Relocation, maxRef int) error
+	}
+	emit := func(MoveResult) {}
+	runners := []runner{
+		{"applyMoves", func(s *Space, plan []Relocation, maxRef int) error {
+			_, _, err := s.ApplyMoves(plan, maxRef, nil, 1<<40, nil)
+			return err
+		}},
+		{"applyMovesEmit", func(s *Space, plan []Relocation, maxRef int) error {
+			_, _, err := s.ApplyMoves(plan, maxRef, nil, 1<<40, emit)
+			return err
+		}},
+		{"sessionBulk", func(s *Space, plan []Relocation, maxRef int) error {
+			ms, err := s.BeginMoves(plan, maxRef, nil)
+			if err != nil {
+				return err
+			}
+			if _, _, err := ms.Advance(1<<40, nil); err != nil {
+				return err
+			}
+			return ms.Commit()
+		}},
+		{"sessionChunks", func(s *Space, plan []Relocation, maxRef int) error {
+			ms, err := s.BeginMoves(plan, maxRef, nil)
+			if err != nil {
+				return err
+			}
+			for !ms.Done() {
+				if _, _, err := ms.Advance(3, nil); err != nil {
+					return err
+				}
+			}
+			return ms.Commit()
+		}},
+		{"sessionChunksEmit", func(s *Space, plan []Relocation, maxRef int) error {
+			ms, err := s.BeginMoves(plan, maxRef, nil)
+			if err != nil {
+				return err
+			}
+			for !ms.Done() {
+				if _, _, err := ms.Advance(2, emit); err != nil {
+					return err
+				}
+			}
+			return ms.Commit()
+		}},
+	}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			s := newDataSpace(t, RAM(), arena.Heap)
+			live := map[ID]int64{}
+			next := int64(0)
+			for id := ID(1); id <= 12; id++ {
+				size := 1 + rng.Int63n(5)
+				if err := s.Place(id, Extent{Start: next, Size: size}); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.WriteData(id, pattern(id, size)); err != nil {
+					t.Fatal(err)
+				}
+				live[id] = size
+				next += size + rng.Int63n(3)
+			}
+			// A compaction-style plan: park everything past the frontier,
+			// then pack leftward — the same two-hop shape flush schedules
+			// produce, exercising multi-step refs and overlap ordering.
+			overflow := next + 16
+			var plan []Relocation
+			park := overflow
+			ref := int32(0)
+			for id := ID(1); id <= 12; id++ {
+				plan = append(plan, Relocation{ID: id, To: park, Ref: ref})
+				park += live[id]
+				ref++
+			}
+			pack := int64(0)
+			ref = 0
+			for id := ID(1); id <= 12; id++ {
+				plan = append(plan, Relocation{ID: id, To: pack, Ref: ref})
+				pack += live[id]
+				ref++
+			}
+			if err := r.run(s, plan, 12); err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			checkPayloads(t, s, live)
+			// Every runner applies the identical plan: identical volume.
+			var wantMoved int64
+			for _, size := range live {
+				wantMoved += 2 * size
+			}
+			if got := s.Data().Counters().BytesMoved; got != wantMoved {
+				t.Fatalf("BytesMoved = %d, want %d", got, wantMoved)
+			}
+		})
+	}
+}
+
+// TestMeteredMatchesHeapCounters: the same op sequence produces the
+// same BytesMoved on a metered and a heap space.
+func TestMeteredMatchesHeapCounters(t *testing.T) {
+	drive := func(s *Space) {
+		rng := rand.New(rand.NewSource(7))
+		next := int64(0)
+		for id := ID(1); id <= 40; id++ {
+			size := 1 + rng.Int63n(9)
+			if err := s.Place(id, Extent{Start: next, Size: size}); err != nil {
+				panic(err)
+			}
+			next += size
+		}
+		for i := 0; i < 200; i++ {
+			id := ID(1 + rng.Intn(40))
+			ext, _ := s.Extent(id)
+			if err := s.Move(id, next); err != nil {
+				panic(fmt.Sprintf("move %d: %v", id, err))
+			}
+			next += ext.Size
+		}
+	}
+	met := newDataSpace(t, RAM(), arena.Metered)
+	hp := newDataSpace(t, RAM(), arena.Heap)
+	drive(met)
+	drive(hp)
+	mc, hc := met.Data().Counters(), hp.Data().Counters()
+	if mc.BytesMoved != hc.BytesMoved || mc.Copies != hc.Copies {
+		t.Fatalf("metered %+v vs heap %+v", mc, hc)
+	}
+	if mc.BytesMoved == 0 {
+		t.Fatal("no moves recorded")
+	}
+}

@@ -190,6 +190,9 @@ func (ms *MoveSession) advanceBatched(budget int64) (consumed int, volume int64,
 		}
 		s.objects[mv.ID] = target
 		s.stampCells(target, mv.ID)
+		if s.data != nil {
+			s.data.Copy(target.Start, oldStart, size)
+		}
 		if s.opts.CheckpointRule {
 			var pieces [2]Extent
 			for _, piece := range pieces[:subtract(old, target, &pieces)] {
@@ -278,6 +281,9 @@ func (s *Space) applyOne(mv Relocation, oldStart, size int64, emit func(MoveResu
 	s.byStart.insert(placement{id: mv.ID, ext: target})
 	s.objects[mv.ID] = target
 	s.stampCells(target, mv.ID)
+	if s.data != nil {
+		s.data.Copy(target.Start, oldStart, size)
+	}
 	if s.opts.CheckpointRule {
 		var pieces [2]Extent
 		for _, piece := range pieces[:subtract(old, target, &pieces)] {

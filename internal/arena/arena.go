@@ -1,0 +1,191 @@
+// Package arena provides the pluggable payload-byte backends the
+// address-space substrate writes through. The reallocation algorithms
+// above it are cost-oblivious: they decide *which* extents move and the
+// substrate decides *what moving costs*. A backend makes that cost real
+// — every relocation memmoves the object's bytes — or keeps it metered,
+// counting the bytes a real backend would have touched without touching
+// any.
+//
+// One cell of the simulated address space is one byte of the backend,
+// so the paper's moved-volume meter and a backend's BytesMoved counter
+// are directly comparable: on the same op stream a metered run and a
+// heap run report identical BytesMoved, and the heap run additionally
+// reports the nanoseconds the memmoves cost (CopyNanos). That is the
+// measurement the E17 experiment builds its metered-cells vs
+// measured-bytes/ns table from.
+//
+// Backends are not safe for concurrent use; the engine serializes all
+// access (the facades' locks extend over payload reads and writes).
+package arena
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind names a backend implementation.
+type Kind int
+
+const (
+	// Metered is the no-op backend: relocations only count the bytes
+	// they would move. This is the default and preserves the behavior
+	// the repo had before backends existed.
+	Metered Kind = iota
+	// Heap backs the address space with a growable Go byte slice;
+	// relocations pay real memmoves.
+	Heap
+	// Mmap backs the address space with an anonymous memory mapping
+	// (falling back to the heap on platforms without mmap).
+	Mmap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Metered:
+		return "metered"
+	case Heap:
+		return "heap"
+	case Mmap:
+		return "mmap"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseKind resolves a backend name (as printed by Kind.String).
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Metered, Heap, Mmap} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown backend %q (valid: metered, heap, mmap)", s)
+}
+
+// Counters is a backend's cumulative cost accounting.
+type Counters struct {
+	// BytesMoved is the total payload volume relocations have copied
+	// (or, for the metered backend, would have copied).
+	BytesMoved int64
+	// Copies is the number of relocations executed.
+	Copies int64
+	// CopyNanos is the wall-clock time spent inside memmoves, recorded
+	// only while timing is armed (SetTiming) on a real backend.
+	CopyNanos int64
+}
+
+// Backend is one payload store over the flat address space. dst/src/
+// start are cell addresses; one cell is one byte.
+//
+// Growth never fails softly: a real backend that cannot obtain memory
+// panics (address-space exhaustion is not recoverable for an arena),
+// which keeps Copy and Bytes off the error paths of the relocation hot
+// loops.
+type Backend interface {
+	// Kind reports the implementation.
+	Kind() Kind
+	// Real reports whether payload bytes physically exist. The metered
+	// backend returns false; payload access is then unavailable.
+	Real() bool
+	// Ensure grows the store so addresses [0, n) are addressable.
+	Ensure(n int64)
+	// Copy relocates size bytes from src to dst with memmove semantics
+	// (overlap between source and destination is fine), growing the
+	// store as needed, and counts the move.
+	Copy(dst, src, size int64)
+	// Bytes returns the live byte slice for [start, start+size),
+	// growing the store as needed. The slice aliases backend memory
+	// and is invalidated by the next operation that can grow or
+	// relocate the store. Nil for backends that are not Real.
+	Bytes(start, size int64) []byte
+	// Counters returns the cumulative cost accounting.
+	Counters() Counters
+	// SetTiming arms (or disarms) CopyNanos recording. Off by default:
+	// an untimed Copy never reads a clock.
+	SetTiming(on bool)
+	// Close releases backend resources (a no-op for all but mmap). The
+	// backend must not be used after Close.
+	Close() error
+}
+
+// New builds a backend of the given kind.
+func New(k Kind) (Backend, error) {
+	switch k {
+	case Metered:
+		return &metered{}, nil
+	case Heap:
+		return &heap{}, nil
+	case Mmap:
+		return newMmap()
+	default:
+		return nil, fmt.Errorf("arena: unknown kind %d", int(k))
+	}
+}
+
+// metered counts what a real backend would do, and does nothing else.
+type metered struct {
+	c Counters
+}
+
+func (m *metered) Kind() Kind   { return Metered }
+func (m *metered) Real() bool   { return false }
+func (m *metered) Ensure(int64) {}
+func (m *metered) Copy(dst, src, size int64) {
+	m.c.BytesMoved += size
+	m.c.Copies++
+}
+func (m *metered) Bytes(start, size int64) []byte { return nil }
+func (m *metered) Counters() Counters             { return m.c }
+func (m *metered) SetTiming(bool)                 {}
+func (m *metered) Close() error                   { return nil }
+
+// heap is the growable-slice backend.
+type heap struct {
+	mem    []byte
+	timing bool
+	c      Counters
+}
+
+func (h *heap) Kind() Kind { return Heap }
+func (h *heap) Real() bool { return true }
+
+func (h *heap) Ensure(n int64) {
+	if n <= int64(len(h.mem)) {
+		return
+	}
+	// Grow geometrically so a sequence of one-past-the-end placements
+	// costs amortized O(1) byte of copying per byte of growth.
+	newLen := int64(len(h.mem)) * 2
+	if newLen < n {
+		newLen = n
+	}
+	grown := make([]byte, newLen)
+	copy(grown, h.mem)
+	h.mem = grown
+}
+
+func (h *heap) Copy(dst, src, size int64) {
+	end := dst + size
+	if se := src + size; se > end {
+		end = se
+	}
+	h.Ensure(end)
+	if h.timing {
+		t0 := time.Now()
+		copy(h.mem[dst:dst+size], h.mem[src:src+size])
+		h.c.CopyNanos += int64(time.Since(t0))
+	} else {
+		copy(h.mem[dst:dst+size], h.mem[src:src+size])
+	}
+	h.c.BytesMoved += size
+	h.c.Copies++
+}
+
+func (h *heap) Bytes(start, size int64) []byte {
+	h.Ensure(start + size)
+	return h.mem[start : start+size : start+size]
+}
+
+func (h *heap) Counters() Counters { return h.c }
+func (h *heap) SetTiming(on bool)  { h.timing = on }
+func (h *heap) Close() error       { h.mem = nil; return nil }

@@ -1,0 +1,117 @@
+package arena
+
+import (
+	"bytes"
+	"testing"
+)
+
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	out := make(map[string]Backend)
+	for _, k := range []Kind{Metered, Heap, Mmap} {
+		b, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%v): %v", k, err)
+		}
+		out[k.String()] = b
+	}
+	return out
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Metered, Heap, Mmap} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("disk"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+}
+
+// TestCopyCounting: every backend counts the same moved volume; only
+// real backends move bytes.
+func TestCopyCounting(t *testing.T) {
+	for name, b := range backends(t) {
+		b.Copy(100, 0, 8)
+		b.Copy(0, 100, 8)
+		c := b.Counters()
+		if c.BytesMoved != 16 || c.Copies != 2 {
+			t.Errorf("%s: counters = %+v, want BytesMoved=16 Copies=2", name, c)
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// TestPayloadRoundTrip: bytes written through Bytes survive a chain of
+// copies, including self-overlapping ones (memmove semantics).
+func TestPayloadRoundTrip(t *testing.T) {
+	for name, b := range backends(t) {
+		if !b.Real() {
+			if b.Bytes(0, 8) != nil {
+				t.Errorf("%s: metered Bytes must be nil", name)
+			}
+			continue
+		}
+		payload := []byte("cost-oblivious")
+		n := int64(len(payload))
+		copy(b.Bytes(10, n), payload)
+		b.Copy(500, 10, n)  // disjoint move
+		b.Copy(495, 500, n) // overlap left by 5
+		b.Copy(499, 495, n) // overlap right by 4
+		if got := b.Bytes(499, n); !bytes.Equal(got, payload) {
+			t.Errorf("%s: payload corrupted: %q", name, got)
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// TestGrowthPreservesPrefix: growth (slice regrow, mmap remap) must
+// keep every previously written byte.
+func TestGrowthPreservesPrefix(t *testing.T) {
+	for name, b := range backends(t) {
+		if !b.Real() {
+			continue
+		}
+		copy(b.Bytes(0, 4), "abcd")
+		b.Ensure(1 << 20) // force at least one growth step
+		if got := b.Bytes(0, 4); !bytes.Equal(got, []byte("abcd")) {
+			t.Errorf("%s: growth lost prefix: %q", name, got)
+		}
+		copy(b.Bytes(1<<20-2, 2), "zz")
+		if got := b.Bytes(1<<20-2, 2); !bytes.Equal(got, []byte("zz")) {
+			t.Errorf("%s: high write lost: %q", name, got)
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// TestTiming: CopyNanos stays zero untimed and only advances on real
+// backends while armed.
+func TestTiming(t *testing.T) {
+	for name, b := range backends(t) {
+		b.Copy(1<<16, 0, 1<<15)
+		if c := b.Counters(); c.CopyNanos != 0 {
+			t.Errorf("%s: untimed CopyNanos = %d", name, c.CopyNanos)
+		}
+		b.SetTiming(true)
+		for i := 0; i < 64; i++ {
+			b.Copy(1<<16, 0, 1<<15)
+		}
+		c := b.Counters()
+		if b.Real() && c.CopyNanos <= 0 {
+			t.Errorf("%s: timed CopyNanos = %d, want > 0", name, c.CopyNanos)
+		}
+		if !b.Real() && c.CopyNanos != 0 {
+			t.Errorf("%s: metered CopyNanos = %d", name, c.CopyNanos)
+		}
+		b.Close()
+	}
+}

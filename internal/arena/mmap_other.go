@@ -1,0 +1,14 @@
+//go:build !unix
+
+package arena
+
+// Platforms without anonymous mmap get the heap backend behind the
+// Mmap kind: same semantics, same counters, GC-visible memory. Kind()
+// still reports Mmap so configuration round-trips.
+func newMmap() (Backend, error) {
+	return &mmapFallback{}, nil
+}
+
+type mmapFallback struct{ heap }
+
+func (f *mmapFallback) Kind() Kind { return Mmap }

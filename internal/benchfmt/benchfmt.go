@@ -29,6 +29,7 @@ type Record struct {
 	Seed      uint64             `json:"seed"`
 	Ops       int                `json:"ops,omitempty"`
 	Core      string             `json:"core,omitempty"`
+	Backend   string             `json:"backend,omitempty"`
 	Quick     bool               `json:"quick"`
 	Timestamp time.Time          `json:"timestamp"`
 	GoVersion string             `json:"go_version"`

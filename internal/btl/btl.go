@@ -14,11 +14,16 @@ package btl
 import (
 	"errors"
 	"fmt"
+	"hash/crc64"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/arena"
 	"realloc/internal/core"
 	"realloc/internal/trace"
 )
+
+// crcTable is the checksum polynomial for block payload verification.
+var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Errors reported by the store.
 var (
@@ -36,6 +41,13 @@ type Store struct {
 	byName map[string]addrspace.ID
 	names  map[addrspace.ID]string
 	nextID addrspace.ID
+	// sums holds the payload checksum of every block written through the
+	// bytes-taking Put, keyed by id; blocks a payload was never stored
+	// for (Reserve, or a metered backend) have no entry. A block's bytes
+	// never change after Put (Update allocates a fresh id), so one
+	// checksum per id is exact.
+	sums    map[addrspace.ID]uint64
+	backend arena.Kind
 
 	// durable is the translation map as of the last checkpoint: what a
 	// recovery would read back from disk.
@@ -52,6 +64,10 @@ type Store struct {
 type blockMeta struct {
 	id  addrspace.ID
 	ext addrspace.Extent
+	// sum is the payload checksum recorded at Put; hasSum distinguishes
+	// a real zero checksum from "no payload stored".
+	sum    uint64
+	hasSum bool
 }
 
 // Config parameterizes a Store.
@@ -63,6 +79,11 @@ type Config struct {
 	Deamortized bool
 	// Recorder taps the reallocator's event stream (may be nil).
 	Recorder trace.Recorder
+	// Backend selects the payload arena. The zero value (Metered) counts
+	// moved volume without storing bytes; a real backend stores every
+	// block's payload at its physical extent and lets Recover verify
+	// checksums against the raw surviving cells.
+	Backend arena.Kind
 }
 
 // ckptHook snapshots the durable map whenever the reallocator blocks on a
@@ -90,7 +111,9 @@ func New(cfg Config) (*Store, error) {
 		byName:  make(map[string]addrspace.ID),
 		names:   make(map[addrspace.ID]string),
 		durable: make(map[string]blockMeta),
+		sums:    make(map[addrspace.ID]uint64),
 		nextID:  1,
+		backend: cfg.Backend,
 	}
 	variant := core.Checkpointed
 	if cfg.Deamortized {
@@ -98,11 +121,16 @@ func New(cfg Config) (*Store, error) {
 	}
 	s.variant = variant
 	s.tap = cfg.Recorder
+	data, err := arena.New(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
 	r, err := core.New(core.Config{
 		Epsilon:    cfg.Epsilon,
 		Variant:    variant,
 		Recorder:   &ckptHook{store: s, next: cfg.Recorder},
 		TrackCells: true,
+		Arena:      data,
 	})
 	if err != nil {
 		return nil, err
@@ -127,8 +155,9 @@ func (s *Store) Volume() int64 { return s.realloc.Volume() }
 // reallocator-forced and explicit).
 func (s *Store) Checkpoints() int64 { return s.checkpoints }
 
-// Put creates block name with the given size.
-func (s *Store) Put(name string, size int64) error {
+// Reserve creates block name with the given size and no payload — the
+// cost-model path, where only the extent bookkeeping matters.
+func (s *Store) Reserve(name string, size int64) error {
 	if s.crashed {
 		return ErrCrashed
 	}
@@ -143,6 +172,43 @@ func (s *Store) Put(name string, size int64) error {
 	s.byName[name] = id
 	s.names[id] = name
 	return nil
+}
+
+// Put creates block name holding data (size = len(data)). On a real
+// backend the bytes are stored at the block's physical extent and a
+// checksum is recorded, so Recover can verify the payload survived a
+// crash byte for byte; under Metered the call degrades to Reserve.
+func (s *Store) Put(name string, data []byte) error {
+	if err := s.Reserve(name, int64(len(data))); err != nil {
+		return err
+	}
+	id := s.byName[name]
+	if !s.realloc.Space().HasData() {
+		return nil
+	}
+	if err := s.realloc.Write(id, data); err != nil {
+		return err
+	}
+	s.sums[id] = crc64.Checksum(data, crcTable)
+	return nil
+}
+
+// Get returns a copy of block name's payload bytes. It fails unless the
+// block was written through the bytes-taking Put on a real backend.
+func (s *Store) Get(name string) ([]byte, error) {
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	id, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ext, _ := s.realloc.Extent(id)
+	out := make([]byte, ext.Size)
+	if _, err := s.realloc.Read(id, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Update rewrites block name at a new size, as a database does when a
@@ -165,6 +231,7 @@ func (s *Store) Update(name string, size int64) error {
 	s.byName[name] = nid
 	s.names[nid] = name
 	delete(s.names, id)
+	delete(s.sums, id)
 	if err := s.realloc.Delete(id); err != nil {
 		return err
 	}
@@ -185,6 +252,7 @@ func (s *Store) Drop(name string) error {
 	}
 	delete(s.byName, name)
 	delete(s.names, id)
+	delete(s.sums, id)
 	return nil
 }
 
@@ -216,7 +284,11 @@ func (s *Store) snapshot() {
 	durable := make(map[string]blockMeta, len(s.byName))
 	for name, id := range s.byName {
 		if ext, ok := s.realloc.Extent(id); ok {
-			durable[name] = blockMeta{id: id, ext: ext}
+			meta := blockMeta{id: id, ext: ext}
+			if sum, ok := s.sums[id]; ok {
+				meta.sum, meta.hasSum = sum, true
+			}
+			durable[name] = meta
 		}
 	}
 	s.durable = durable
@@ -242,7 +314,9 @@ type RecoveryReport struct {
 // Recover rebuilds the store from the durable map after a crash. It
 // verifies every durable block's data is intact at its mapped extent
 // (possible precisely because space freed since that checkpoint was never
-// rewritten), then reloads the blocks into a fresh reallocator.
+// rewritten) — on a real backend by checksumming the raw surviving cells
+// against the sum recorded at Put — then reloads the blocks, payloads
+// included, into a fresh reallocator over a fresh arena.
 func (s *Store) Recover() (RecoveryReport, error) {
 	if !s.crashed {
 		return RecoveryReport{}, errors.New("btl: Recover without crash")
@@ -252,27 +326,55 @@ func (s *Store) Recover() (RecoveryReport, error) {
 	for name, meta := range s.durable {
 		if !old.HoldsData(meta.id, meta.ext) {
 			rep.Corrupt = append(rep.Corrupt, name)
+			continue
+		}
+		// The physical check: the bytes at the durable extent of the
+		// crashed arena must still hash to the checksum recorded when the
+		// block was written — the checkpoint rule is what makes this hold.
+		if meta.hasSum && old.HasData() {
+			raw := old.Data().Bytes(meta.ext.Start, meta.ext.Size)
+			if crc64.Checksum(raw, crcTable) != meta.sum {
+				rep.Corrupt = append(rep.Corrupt, name)
+			}
 		}
 	}
 	if len(rep.Corrupt) > 0 {
 		return rep, fmt.Errorf("btl: %d blocks corrupted after crash", len(rep.Corrupt))
 	}
 	// Reload the surviving blocks into a fresh reallocator (the database
-	// rewrites them as it warms up).
+	// rewrites them as it warms up). The fresh core gets its own arena —
+	// re-inserting into the crashed one would overwrite durable data
+	// before it is read back.
+	data, err := arena.New(s.backend)
+	if err != nil {
+		return rep, err
+	}
 	fresh, err := core.New(core.Config{
 		Epsilon:    s.realloc.Epsilon(),
 		Variant:    s.variant,
 		Recorder:   &ckptHook{store: s, next: s.tap},
 		TrackCells: true,
+		Arena:      data,
 	})
 	if err != nil {
 		return rep, err
 	}
 	s.byName = make(map[string]addrspace.ID, len(s.durable))
 	s.names = make(map[addrspace.ID]string, len(s.durable))
+	sums := make(map[addrspace.ID]uint64, len(s.durable))
 	for name, meta := range s.durable {
 		if err := fresh.Insert(meta.id, meta.ext.Size); err != nil {
 			return rep, err
+		}
+		if meta.hasSum && old.HasData() {
+			// Carry the payload across: read from the crashed arena at the
+			// durable address, write at wherever the fresh core placed the
+			// block. Later flushes keep it attached to the block.
+			raw := old.Data().Bytes(meta.ext.Start, meta.ext.Size)
+			if err := fresh.Write(meta.id, raw); err != nil {
+				return rep, err
+			}
+			sums[meta.id] = meta.sum
 		}
 		s.byName[name] = meta.id
 		s.names[meta.id] = name
@@ -282,6 +384,7 @@ func (s *Store) Recover() (RecoveryReport, error) {
 		}
 	}
 	s.realloc = fresh
+	s.sums = sums
 	s.crashed = false
 	s.recoveries++
 	s.snapshot()

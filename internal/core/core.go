@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/arena"
 	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
@@ -73,6 +74,11 @@ type Config struct {
 	// Nil (the default) keeps every timing site a single branch — the
 	// core never reads a clock unless someone is listening.
 	Telemetry *telemetry.Set
+	// Arena is the payload backend relocations execute against. Nil
+	// defaults to the metered backend: moves are counted, not paid.
+	// Handing an engine another engine's arena adopts its bytes (the
+	// AutoSelect migration relies on this).
+	Arena arena.Backend
 }
 
 // Errors returned by Reallocator operations.
@@ -190,6 +196,10 @@ type Reallocator struct {
 	tel      *telemetry.Set
 	stalling bool
 	opStall  int64
+	// copyMark is the arena's cumulative memmove time at the start of
+	// the flush in progress; the delta at flush end is that flush's
+	// FlushCopy observation.
+	copyMark int64
 
 	// Deamortized state: the plan of an in-progress flush and the update
 	// log absorbing requests that arrive while it runs.
@@ -239,6 +249,13 @@ func New(cfg Config) (*Reallocator, error) {
 		opts = addrspace.Durable()
 	}
 	opts.TrackCells = cfg.TrackCells
+	if cfg.Arena == nil {
+		cfg.Arena, _ = arena.New(arena.Metered)
+	}
+	if cfg.Telemetry != nil {
+		cfg.Arena.SetTiming(true)
+	}
+	opts.Data = cfg.Arena
 	rec := cfg.Recorder
 	if rec == nil {
 		rec = trace.Null{}
@@ -316,6 +333,19 @@ func (r *Reallocator) EpsPrime() float64 { return r.eps }
 
 // Space exposes the substrate for integration (BTL) and tests.
 func (r *Reallocator) Space() *addrspace.Space { return r.space }
+
+// Data exposes the payload backend relocations execute against.
+func (r *Reallocator) Data() arena.Backend { return r.space.Data() }
+
+// Write copies p into object id's payload bytes (real backends only).
+func (r *Reallocator) Write(id ID, p []byte) error { return r.space.WriteData(id, p) }
+
+// Read copies object id's payload bytes into p.
+func (r *Reallocator) Read(id ID, p []byte) (int, error) { return r.space.ReadData(id, p) }
+
+// Bytes returns object id's live payload slice (valid until the next
+// mutating call).
+func (r *Reallocator) Bytes(id ID) ([]byte, bool) { return r.space.DataBytes(id) }
 
 // Extent returns the current physical extent of id. Objects are always
 // physically placed, including mid-flush and while sitting in the log.
@@ -505,6 +535,22 @@ func (r *Reallocator) bufCap(v int64) int64 {
 func (r *Reallocator) syncCheckpoints() {
 	if r.tel != nil {
 		r.tel.Checkpoints.Store(r.space.Checkpoints())
+		r.tel.BytesMoved.Store(r.space.Data().Counters().BytesMoved)
+	}
+}
+
+// markCopy snapshots the arena's cumulative memmove time at flush
+// start; recordCopy turns the delta into the flush's FlushCopy
+// observation. Both are single branches when telemetry is off.
+func (r *Reallocator) markCopy() {
+	if r.tel != nil {
+		r.copyMark = r.space.Data().Counters().CopyNanos
+	}
+}
+
+func (r *Reallocator) recordCopy() {
+	if r.tel != nil {
+		r.tel.FlushCopy.Record(r.space.Data().Counters().CopyNanos - r.copyMark)
 	}
 }
 

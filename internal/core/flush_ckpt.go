@@ -55,6 +55,7 @@ func (r *Reallocator) startFlush(trigClass int, wtrig int64) error {
 	if r.tel != nil {
 		t0 = telemetry.Now()
 	}
+	r.markCopy()
 	r.flushes++
 	b := r.boundaryClass(trigClass)
 	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
@@ -291,6 +292,7 @@ func (r *Reallocator) finishFlush() error {
 	if r.tel != nil {
 		r.tel.FlushDuration.Record(p.activeNanos)
 		r.tel.FlushMoved.Record(p.movedVolume)
+		r.recordCopy()
 		r.syncCheckpoints()
 		// The span replays the flush's whole timing story through the
 		// ordinary event stream, right after its KFlushEnd.

@@ -24,6 +24,7 @@ func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
 	if r.tel != nil {
 		t0 = telemetry.Now()
 	}
+	r.markCopy()
 	r.flushes++
 	b := r.boundaryClass(trigClass)
 	r.rec.Record(trace.Event{Kind: trace.KFlushStart, From: int64(b), Volume: r.vol})
@@ -96,6 +97,7 @@ func (r *Reallocator) flushRAM(trigClass int, trigger *object) error {
 		r.tel.FlushDuration.Record(el)
 		r.tel.FlushMoved.Record(flushedVol)
 		r.tel.FlushChunk.Record(flushedVol)
+		r.recordCopy()
 		r.syncCheckpoints()
 		r.rec.Record(trace.Event{
 			Kind: trace.KFlushSpan, ID: 1, Size: flushedVol, To: el,

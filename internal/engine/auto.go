@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/arena"
 	"realloc/internal/engine/fcs"
 	"realloc/internal/trace"
 )
@@ -167,12 +168,16 @@ func (a *autoEngine) commit(choice Core) error {
 	if choice != FCS {
 		return nil
 	}
+	// The probe engine's arena moves to the new core. Adopt re-places
+	// every object at its current address and placement never clears
+	// cells, so payload bytes survive the migration without a copy.
 	z, err := fcs.New(fcs.Config{
 		Epsilon:    a.cfg.Epsilon,
 		Recorder:   a.cfg.Recorder,
 		TrackCells: a.cfg.TrackCells,
 		Paranoid:   a.cfg.Paranoid,
 		Telemetry:  a.cfg.Telemetry,
+		Arena:      a.inner.Data(),
 	})
 	if err != nil {
 		return err
@@ -277,6 +282,10 @@ func (a *autoEngine) Flushes() int64                        { return a.inner.Flu
 func (a *autoEngine) FlushActive() bool                     { return a.inner.FlushActive() }
 func (a *autoEngine) Drain() error                          { return a.inner.Drain() }
 func (a *autoEngine) CheckInvariants() error                { return a.inner.CheckInvariants() }
+func (a *autoEngine) Data() arena.Backend                   { return a.inner.Data() }
+func (a *autoEngine) Write(id ID, p []byte) error           { return a.inner.Write(id, p) }
+func (a *autoEngine) Read(id ID, p []byte) (int, error)     { return a.inner.Read(id, p) }
+func (a *autoEngine) Bytes(id ID) ([]byte, bool)            { return a.inner.Bytes(id) }
 
 func (a *autoEngine) ForEach(fn func(id ID, ext addrspace.Extent)) { a.inner.ForEach(fn) }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/arena"
 	"realloc/internal/core"
 	"realloc/internal/engine/fcs"
 	"realloc/internal/telemetry"
@@ -162,6 +163,17 @@ type Engine interface {
 	// Kind reports which core the engine currently runs (an AutoSelect
 	// engine reports the core it has committed to, PODS14 while probing).
 	Kind() Core
+	// Data exposes the payload backend relocations execute against.
+	Data() arena.Backend
+	// Write copies p into object id's payload bytes; it fails with
+	// addrspace.ErrNoData unless the engine runs a real backend.
+	Write(id ID, p []byte) error
+	// Read copies object id's payload bytes into p, returning how many
+	// bytes were copied: min(len(p), size).
+	Read(id ID, p []byte) (int, error)
+	// Bytes returns object id's live payload slice, aliasing backend
+	// memory; it is valid only until the next mutating call.
+	Bytes(id ID) ([]byte, bool)
 }
 
 // Config parameterizes New.
@@ -194,6 +206,10 @@ type Config struct {
 	// timings (duration, stall, chunk, moved volume) and checkpoint
 	// counts; the facade layers its own op-latency recording on top.
 	Telemetry *telemetry.Set
+	// Arena is the payload backend relocations execute against. Nil
+	// defaults to a core-private metered backend: moved volume is
+	// counted, no bytes are copied.
+	Arena arena.Backend
 }
 
 // ValidateEpsilon is the one definition of the epsilon contract; every
@@ -292,6 +308,7 @@ func newPODSEngine(cfg Config) (Engine, error) {
 		Paranoid:    cfg.Paranoid,
 		SerialFlush: cfg.SerialFlush,
 		Telemetry:   cfg.Telemetry,
+		Arena:       cfg.Arena,
 	})
 	if err != nil {
 		return nil, err
@@ -313,6 +330,7 @@ func newFCSEngine(cfg Config) (Engine, error) {
 		TrackCells: cfg.TrackCells,
 		Paranoid:   cfg.Paranoid,
 		Telemetry:  cfg.Telemetry,
+		Arena:      cfg.Arena,
 	})
 	if err != nil {
 		return nil, err

@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/arena"
 	"realloc/internal/telemetry"
 	"realloc/internal/trace"
 )
@@ -65,6 +66,10 @@ type Config struct {
 	// Telemetry, when non-nil, receives rebuild timings: each rebuild is
 	// one atomic flush span (duration, moved volume, a single chunk).
 	Telemetry *telemetry.Set
+	// Arena is the payload backend relocations execute against. Nil
+	// defaults to the metered backend. Passing the previous engine's
+	// arena across an AutoSelect migration adopts its bytes in place.
+	Arena arena.Backend
 }
 
 // object is the bookkeeping record for one live object.
@@ -120,6 +125,13 @@ func New(cfg Config) (*Reallocator, error) {
 	}
 	opts := addrspace.RAM()
 	opts.TrackCells = cfg.TrackCells
+	if cfg.Arena == nil {
+		cfg.Arena, _ = arena.New(arena.Metered)
+	}
+	if cfg.Telemetry != nil {
+		cfg.Arena.SetTiming(true)
+	}
+	opts.Data = cfg.Arena
 	rec := cfg.Recorder
 	if rec == nil {
 		rec = trace.Null{}
@@ -183,6 +195,19 @@ func (r *Reallocator) Epsilon() float64 { return r.cfg.Epsilon }
 
 // Space exposes the substrate for tests.
 func (r *Reallocator) Space() *addrspace.Space { return r.space }
+
+// Data exposes the payload backend relocations execute against.
+func (r *Reallocator) Data() arena.Backend { return r.space.Data() }
+
+// Write copies p into object id's payload bytes (real backends only).
+func (r *Reallocator) Write(id ID, p []byte) error { return r.space.WriteData(id, p) }
+
+// Read copies object id's payload bytes into p.
+func (r *Reallocator) Read(id ID, p []byte) (int, error) { return r.space.ReadData(id, p) }
+
+// Bytes returns object id's live payload slice (valid until the next
+// mutating call).
+func (r *Reallocator) Bytes(id ID) ([]byte, bool) { return r.space.DataBytes(id) }
 
 // Extent returns the object's current physical placement.
 func (r *Reallocator) Extent(id ID) (addrspace.Extent, bool) {
@@ -357,8 +382,10 @@ func (r *Reallocator) rebuild() error {
 
 	r.rebuilds++
 	var moved, t0 int64
+	var copyMark int64
 	if r.cfg.Telemetry != nil {
 		t0 = telemetry.Now()
+		copyMark = r.space.Data().Counters().CopyNanos
 	}
 	if !r.nullRec {
 		r.rec.Record(trace.Event{
@@ -400,6 +427,9 @@ func (r *Reallocator) rebuild() error {
 		tel.FlushDuration.Record(el)
 		tel.FlushMoved.Record(moved)
 		tel.FlushChunk.Record(moved)
+		c := r.space.Data().Counters()
+		tel.FlushCopy.Record(c.CopyNanos - copyMark)
+		tel.BytesMoved.Store(c.BytesMoved)
 		if !r.nullRec {
 			r.rec.Record(trace.Event{
 				Kind: trace.KFlushSpan, ID: 1, Size: moved, To: el,

@@ -45,7 +45,7 @@ func E11(cfg Config) (*Result, error) {
 			if op.Insert {
 				n := fmt.Sprintf("blk-%d", op.ID)
 				names[int64(op.ID)] = n
-				if err := store.Put(n, op.Size); err != nil {
+				if err := store.Reserve(n, op.Size); err != nil {
 					return nil, fmt.Errorf("%s put: %w", name, err)
 				}
 			} else {

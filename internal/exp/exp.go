@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: one function per experiment in
-// EXPERIMENTS.md (E1–E16), each regenerating the table or figure that
+// EXPERIMENTS.md (E1–E17), each regenerating the table or figure that
 // validates a claim of the paper. The harness is shared by
 // cmd/reallocbench, the root benchmark suite, and the integration tests
 // that assert the *shape* of each result (who wins, by what order, where
@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"realloc"
+	"realloc/internal/arena"
 	"realloc/internal/core"
 	"realloc/internal/engine"
 	"realloc/internal/telemetry"
@@ -28,10 +29,14 @@ type Config struct {
 	Ops int
 	// Quick shrinks workloads for smoke tests and -short mode.
 	Quick bool
-	// Core optionally restricts cross-core experiments (E16) to a single
-	// core, named as engine.ParseCore understands ("pods14", "fcs",
-	// "auto"). Empty means every core.
+	// Core optionally restricts cross-core experiments (E16, E17) to a
+	// single core, named as engine.ParseCore understands ("pods14",
+	// "fcs", "auto"). Empty means every core.
 	Core string
+	// Backend optionally restricts cross-backend experiments (E17) to a
+	// single payload backend, named as arena.ParseKind understands
+	// ("metered", "heap", "mmap"). Empty means metered and heap.
+	Backend string
 	// Telemetry optionally arms the runtime telemetry layer on every
 	// public-facade structure an experiment builds (E13–E15). The caller
 	// owns the registry: it can serve it live while the experiment runs
@@ -59,6 +64,20 @@ func (c Config) cores() ([]engine.Core, error) {
 		return nil, err
 	}
 	return []engine.Core{ec}, nil
+}
+
+// backends resolves the Backend filter; the default panel is the metered
+// cost model plus the heap arena (mmap only runs when asked for, since
+// it measures the same copies through a different allocation path).
+func (c Config) backends() ([]arena.Kind, error) {
+	if c.Backend == "" {
+		return []arena.Kind{arena.Metered, arena.Heap}, nil
+	}
+	k, err := arena.ParseKind(c.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return []arena.Kind{k}, nil
 }
 
 func (c Config) ops(def int) int {
@@ -125,6 +144,8 @@ func All() []Experiment {
 			"Uncontended operations touch no shared mutable cache line except their own shard: routing is one atomic load, per-object reads take only a shard read lock, aggregate reads take none", E15},
 		{"E16", "Cost vs epsilon across reallocation cores",
 			"Engine boundary: the PODS'14 reference, the FCS successor, and the auto-selecting engine all hold footprint <= (1+eps)*V at quiescence on uniform, zipf, and adversarial workloads, each inside its own per-core cost bound", E16},
+		{"E17", "Metered cost model vs real memmove backends",
+			"Backend boundary: replaying identical streams, the metered counter, the trace's moved volume, and the bytes a real arena physically memmoves agree exactly (one cell = one byte); the measured copy throughput prices the moved-volume unit in wall-clock", E17},
 	}
 }
 

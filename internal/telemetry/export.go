@@ -54,10 +54,12 @@ type Summaries struct {
 	FlushStallNs     Summary `json:"flush_stall_ns"`
 	FlushMovedCells  Summary `json:"flush_moved_cells"`
 	FlushChunkCells  Summary `json:"flush_chunk_cells"`
+	FlushCopyNs      Summary `json:"flush_copy_ns"`
 	MigrateLatencyNs Summary `json:"migrate_latency_ns"`
 	BatchSizeOps     Summary `json:"batch_size_ops"`
 	SubmitLatencyNs  Summary `json:"submit_latency_ns"`
 	Checkpoints      int64   `json:"checkpoints"`
+	BytesMoved       int64   `json:"bytes_moved"`
 }
 
 // Summaries digests every metric of the snapshot.
@@ -70,10 +72,12 @@ func (s *Snapshot) Summaries() Summaries {
 		FlushStallNs:     s.FlushStall.Summary(),
 		FlushMovedCells:  s.FlushMoved.Summary(),
 		FlushChunkCells:  s.FlushChunk.Summary(),
+		FlushCopyNs:      s.FlushCopy.Summary(),
 		MigrateLatencyNs: s.MigrateLatency.Summary(),
 		BatchSizeOps:     s.BatchSize.Summary(),
 		SubmitLatencyNs:  s.SubmitLatency.Summary(),
 		Checkpoints:      s.Checkpoints,
+		BytesMoved:       s.BytesMoved,
 	}
 }
 
@@ -99,11 +103,15 @@ func (s *Snapshot) AppendFindings(m map[string]float64, prefix string) {
 	add("flush_stall", "ns", &s.FlushStall)
 	add("flush_moved", "cells", &s.FlushMoved)
 	add("flush_chunk", "cells", &s.FlushChunk)
+	add("flush_copy", "ns", &s.FlushCopy)
 	add("migrate_latency", "ns", &s.MigrateLatency)
 	add("batch_size", "ops", &s.BatchSize)
 	add("submit_latency", "ns", &s.SubmitLatency)
 	if s.Checkpoints != 0 {
 		m[prefix+"checkpoints"] = float64(s.Checkpoints)
+	}
+	if s.BytesMoved != 0 {
+		m[prefix+"bytes_moved"] = float64(s.BytesMoved)
 	}
 }
 
@@ -176,6 +184,8 @@ func writePrometheus(w io.Writer, reg *Registry) {
 			func(s *Snapshot) *HistSnapshot { return &s.FlushMoved }},
 		{"realloc_flush_chunk_cells", "Cells moved per deamortized session chunk.", 1,
 			func(s *Snapshot) *HistSnapshot { return &s.FlushChunk }},
+		{"realloc_flush_copy_seconds", "Time inside payload memmoves per completed flush.", 1e-9,
+			func(s *Snapshot) *HistSnapshot { return &s.FlushCopy }},
 		{"realloc_migrate_latency_seconds", "Per-object rebalancer migration latency.", 1e-9,
 			func(s *Snapshot) *HistSnapshot { return &s.MigrateLatency }},
 		{"realloc_batch_size_ops", "Ops per executed batch group.", 1,
@@ -194,6 +204,11 @@ func writePrometheus(w io.Writer, reg *Registry) {
 	for i := 0; i < shards; i++ {
 		reg.ReadShardSnapshot(i, &snap)
 		fmt.Fprintf(w, "realloc_checkpoints_total{shard=%q} %d\n", strconv.Itoa(i), snap.Checkpoints)
+	}
+	fmt.Fprintf(w, "# HELP realloc_bytes_moved_total Payload bytes moved by relocations.\n# TYPE realloc_bytes_moved_total counter\n")
+	for i := 0; i < shards; i++ {
+		reg.ReadShardSnapshot(i, &snap)
+		fmt.Fprintf(w, "realloc_bytes_moved_total{shard=%q} %d\n", strconv.Itoa(i), snap.BytesMoved)
 	}
 }
 

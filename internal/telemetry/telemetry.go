@@ -250,10 +250,12 @@ type Set struct {
 	FlushStall     Histogram // per-op time blocked advancing a flush the op did not trigger
 	FlushMoved     Histogram // cells moved per completed flush
 	FlushChunk     Histogram // cells moved per deamortized session chunk
+	FlushCopy      Histogram // time inside payload memmoves per completed flush (real backends)
 	MigrateLatency Histogram // per-object rebalancer migration latency
 	BatchSize      Histogram // ops per executed batch group (Apply / async drains)
 	SubmitLatency  Histogram // async submit-to-complete latency per op
 	Checkpoints    Counter   // checkpointed placements (checkpointed/deamortized variants)
+	BytesMoved     Counter   // payload bytes relocations moved (mirror of the arena counter)
 }
 
 // AddTo accumulates the set into an aggregate snapshot.
@@ -264,10 +266,12 @@ func (s *Set) AddTo(snap *Snapshot) {
 	s.FlushStall.AddTo(&snap.FlushStall)
 	s.FlushMoved.AddTo(&snap.FlushMoved)
 	s.FlushChunk.AddTo(&snap.FlushChunk)
+	s.FlushCopy.AddTo(&snap.FlushCopy)
 	s.MigrateLatency.AddTo(&snap.MigrateLatency)
 	s.BatchSize.AddTo(&snap.BatchSize)
 	s.SubmitLatency.AddTo(&snap.SubmitLatency)
 	snap.Checkpoints += s.Checkpoints.Load()
+	snap.BytesMoved += s.BytesMoved.Load()
 }
 
 // Snapshot is a point-in-time aggregate view of a Registry: plain
@@ -280,10 +284,12 @@ type Snapshot struct {
 	FlushStall     HistSnapshot
 	FlushMoved     HistSnapshot
 	FlushChunk     HistSnapshot
+	FlushCopy      HistSnapshot
 	MigrateLatency HistSnapshot
 	BatchSize      HistSnapshot
 	SubmitLatency  HistSnapshot
 	Checkpoints    int64
+	BytesMoved     int64
 	Shards         int
 }
 

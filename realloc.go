@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"realloc/internal/addrspace"
+	"realloc/internal/arena"
 	"realloc/internal/engine"
 	"realloc/internal/telemetry"
 	"realloc/internal/trace"
@@ -45,6 +46,34 @@ const (
 
 func (c Core) String() string { return engine.Core(c).String() }
 
+// Backend selects the payload data backend relocations execute against;
+// see the "Backends" section of the package documentation.
+type Backend int
+
+// Available backends.
+const (
+	// Metered is the default: moved volume is counted exactly as a real
+	// backend would pay it, but no bytes exist and no copies run. One
+	// cell costs one byte, so metered counters and real-backend counters
+	// are directly comparable.
+	Metered Backend = iota
+	// HeapArena stores payload bytes in a growable Go byte slice; every
+	// relocation physically memmoves the object's extent.
+	HeapArena
+	// MmapArena stores payload bytes in an anonymous private memory
+	// mapping (falling back to HeapArena semantics on platforms without
+	// mmap); every relocation physically memmoves the object's extent.
+	MmapArena
+)
+
+func (b Backend) String() string { return arena.Kind(b).String() }
+
+// ParseBackend resolves a backend name (as printed by Backend.String).
+func ParseBackend(s string) (Backend, error) {
+	k, err := arena.ParseKind(s)
+	return Backend(k), err
+}
+
 // Extent is a placement: the half-open cell interval
 // [Start, Start+Size).
 type Extent struct {
@@ -74,6 +103,7 @@ type config struct {
 	rebalance   *RebalancePolicy
 	tel         *telemetry.Registry
 	async       int
+	backend     Backend
 }
 
 // validateEpsilon enforces the public contract at the constructor
@@ -118,6 +148,13 @@ func (c *config) resolveCore() (engine.Core, error) {
 // config; coord shares an AutoSelect decision across shards (nil for the
 // single-structure facade).
 func (c *config) buildEngine(ec engine.Core, rec trace.Recorder, coord *engine.AutoCoordinator, tel *telemetry.Set) (engine.Engine, error) {
+	// Each engine owns a private arena: shards never share payload
+	// memory, so per-shard relocations memmove without cross-shard
+	// coordination.
+	data, err := arena.New(arena.Kind(c.backend))
+	if err != nil {
+		return nil, fmt.Errorf("realloc: %w", err)
+	}
 	e, err := engine.New(engine.Config{
 		Core:        ec,
 		Variant:     engine.Variant(c.variant),
@@ -128,6 +165,7 @@ func (c *config) buildEngine(ec engine.Core, rec trace.Recorder, coord *engine.A
 		SerialFlush: c.serialFlush,
 		Coordinator: coord,
 		Telemetry:   tel,
+		Arena:       data,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("realloc: %w", err)
@@ -222,6 +260,13 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // Call Close when done: it drains every accepted request and stops the
 // consumers.
 func WithAsync(depth int) Option { return func(c *config) { c.async = depth } }
+
+// WithBackend selects the payload data backend. The default, Metered,
+// counts moved volume without storing bytes — the cost-model view. A
+// real backend (HeapArena, MmapArena) stores each object's payload at
+// its physical extent and memmoves it on every relocation, and unlocks
+// the payload API: Write, Read, and Bytes.
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
 // WithRebalance arms dynamic cross-shard rebalancing on a sharded
 // reallocator: per-shard live volume is watched, and once the imbalance
@@ -435,4 +480,43 @@ func (r *Reallocator) ForEach(fn func(id int64, ext Extent)) {
 func (r *Reallocator) CheckInvariants() error {
 	defer r.lock()()
 	return r.inner.CheckInvariants()
+}
+
+// Backend reports the payload data backend the reallocator runs.
+func (r *Reallocator) Backend() Backend {
+	defer r.lock()()
+	return Backend(r.inner.Data().Kind())
+}
+
+// BytesMoved returns the cumulative payload volume relocations have
+// carried, in bytes. One cell is one byte, so on the same request
+// stream a Metered and a HeapArena reallocator report the same number —
+// the former counts it, the latter pays it.
+func (r *Reallocator) BytesMoved() int64 {
+	defer r.lock()()
+	return r.inner.Data().Counters().BytesMoved
+}
+
+// Write copies p into object id's payload bytes, starting at the
+// object's first cell. len(p) must not exceed the object's size. It
+// requires a real backend (see WithBackend); under Metered it fails.
+func (r *Reallocator) Write(id int64, p []byte) error {
+	defer r.lock()()
+	return r.inner.Write(addrspace.ID(id), p)
+}
+
+// Read copies object id's payload bytes into p, returning how many
+// bytes were copied: min(len(p), size). It requires a real backend.
+func (r *Reallocator) Read(id int64, p []byte) (int, error) {
+	defer r.lock()()
+	return r.inner.Read(addrspace.ID(id), p)
+}
+
+// Bytes returns object id's live payload slice, aliasing backend
+// memory. The slice is valid only until the next mutating call — any
+// insert or delete can move the object or grow the backend. It requires
+// a real backend.
+func (r *Reallocator) Bytes(id int64) ([]byte, bool) {
+	defer r.lock()()
+	return r.inner.Bytes(addrspace.ID(id))
 }

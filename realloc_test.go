@@ -158,7 +158,7 @@ func TestPublicBlockStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("root", 64); err != nil {
+	if err := s.Reserve("root", 64); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Update("root", 128); err != nil {

@@ -254,6 +254,7 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 	// Take victims from the top of the source address space: freeing the
 	// highest extents is what lets the source's next flush shrink its
 	// footprint the most.
+	var payload []byte // reused carry buffer; nil per object without a real backend
 	for i := len(all) - 1; i >= 0 && moved < maxObjects && movedVol < volBudget; i-- {
 		v := all[i]
 		// Migration latency is charged to the source shard's set: it is the
@@ -270,6 +271,13 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 		if !ok {
 			return moved, fmt.Errorf("realloc: migrate %d->%d lost id %d on source", from, to, v.id)
 		}
+		// Shards own private arenas, so a cross-shard move is a real copy:
+		// snapshot the payload before the delete (a delete-triggered
+		// compaction may overwrite the vacated cells immediately).
+		payload = payload[:0]
+		if b, ok := src.inner.Bytes(v.id); ok {
+			payload = append(payload, b...)
+		}
 		if err := src.inner.Delete(v.id); err != nil {
 			return moved, fmt.Errorf("realloc: migrate %d->%d delete id %d: %w", from, to, v.id, err)
 		}
@@ -280,7 +288,17 @@ func (s *ShardedReallocator) migrateLocked(from, to int, volBudget int64, maxObj
 				return moved, fmt.Errorf("realloc: migrate %d->%d insert id %d: %v (rollback failed: %w)",
 					from, to, v.id, err, rerr)
 			}
+			if len(payload) > 0 {
+				if werr := src.inner.Write(v.id, payload); werr != nil {
+					return moved, fmt.Errorf("realloc: migrate %d->%d rollback payload of id %d: %w", from, to, v.id, werr)
+				}
+			}
 			return moved, fmt.Errorf("realloc: migrate %d->%d insert id %d: %w", from, to, v.id, err)
+		}
+		if len(payload) > 0 {
+			if err := dst.inner.Write(v.id, payload); err != nil {
+				return moved, fmt.Errorf("realloc: migrate %d->%d payload of id %d: %w", from, to, v.id, err)
+			}
 		}
 		rerouted = append(rerouted, int64(v.id))
 		moved++

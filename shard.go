@@ -728,6 +728,62 @@ func (sh *shard) checkMirror() error {
 	return nil
 }
 
+// Backend reports the payload data backend the shards run (shared
+// configuration; each shard owns a private arena of this kind).
+func (s *ShardedReallocator) Backend() Backend {
+	sh := s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return Backend(sh.inner.Data().Kind())
+}
+
+// BytesMoved returns the cumulative payload volume relocations have
+// carried, summed over shards. Cross-shard migrations are not included:
+// they are one delete plus one insert, not a relocation.
+func (s *ShardedReallocator) BytesMoved() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.inner.Data().Counters().BytesMoved
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Write copies p into object id's payload bytes on the owning shard.
+// len(p) must not exceed the object's size. It requires a real backend
+// (see WithBackend); under Metered it fails.
+func (s *ShardedReallocator) Write(id int64, p []byte) error {
+	sh, _ := s.acquire(id)
+	defer sh.mu.Unlock()
+	return sh.inner.Write(addrspace.ID(id), p)
+}
+
+// Read copies object id's payload bytes into p, returning how many
+// bytes were copied: min(len(p), size). Like Extent, it takes only the
+// owning shard's read lock, so concurrent reads of one shard never
+// serialize — and a flush on another shard never blocks this one.
+func (s *ShardedReallocator) Read(id int64, p []byte) (int, error) {
+	sh := s.acquireRead(id)
+	defer sh.mu.RUnlock()
+	return sh.inner.Read(addrspace.ID(id), p)
+}
+
+// Bytes returns a copy of object id's payload. Unlike the single-
+// structure facade it cannot return the live slice: another goroutine's
+// insert may relocate the object the moment the shard lock drops.
+func (s *ShardedReallocator) Bytes(id int64) ([]byte, bool) {
+	sh := s.acquireRead(id)
+	defer sh.mu.RUnlock()
+	b, ok := sh.inner.Bytes(addrspace.ID(id))
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, true
+}
+
 // ShardSnapshot is one shard's state captured from its mirror block.
 type ShardSnapshot struct {
 	Len       int
