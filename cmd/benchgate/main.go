@@ -53,6 +53,20 @@
 //	    benchgate -bytes [-bytesBench BenchmarkChurnBackend]
 //	    [-maxBytesOverhead 1.75] [-out BENCH_ci_bytes.json]
 //
+// With -durable, it gates the price of durability: the wal lane of the
+// durable churn benchmark (WAL appends per placement, arena sync +
+// group-fsync per checkpoint) must stay within -maxDurableOverhead
+// (default 40) of the heap lane over identical churn, and one full WAL
+// replay of the 1e5-record log (BenchmarkWALReplay/ops=100000) must
+// finish within -maxReplayMs (default 500):
+//
+//	go test -run '^$' -bench 'BenchmarkDurableChurn|BenchmarkWALReplay' \
+//	    -benchtime 1s . | \
+//	    benchgate -durable [-durableBench BenchmarkDurableChurn]
+//	    [-replayBench BenchmarkWALReplay/ops=100000]
+//	    [-maxDurableOverhead 40] [-maxReplayMs 500]
+//	    [-out BENCH_ci_durable.json]
+//
 // Any gate fails (exit 1) when its ratio is out of bounds or when
 // expected results are missing — a silent benchmark rename must not
 // pass the gate.
@@ -101,6 +115,11 @@ func run() int {
 		bytesMode     = flag.Bool("bytes", false, "gate real-backend (heap) vs metered churn cost instead of churn ratios")
 		bytesBench    = flag.String("bytesBench", "BenchmarkChurnBackend", "backend cost benchmark family")
 		maxBytes      = flag.Float64("maxBytesOverhead", 1.75, "max allowed heap/metered ns/op ratio per core")
+		durable       = flag.Bool("durable", false, "gate durable-mode churn overhead and WAL replay time instead of churn ratios")
+		durableBench  = flag.String("durableBench", "BenchmarkDurableChurn", "durable churn benchmark family (heap and wal lanes)")
+		replayBench   = flag.String("replayBench", "BenchmarkWALReplay/ops=100000", "WAL replay benchmark result")
+		maxDurable    = flag.Float64("maxDurableOverhead", 40, "max allowed wal/heap ns/op ratio")
+		maxReplayMs   = flag.Float64("maxReplayMs", 500, "max allowed ms per full WAL replay")
 	)
 	flag.Parse()
 
@@ -133,6 +152,10 @@ func run() int {
 	if *bytesMode {
 		return runBytes(results, *bytesBench, *maxBytes,
 			defaultOut(*out, "BENCH_ci_bytes.json"))
+	}
+	if *durable {
+		return runDurable(results, *durableBench, *replayBench, *maxDurable, *maxReplayMs,
+			defaultOut(*out, "BENCH_ci_durable.json"))
 	}
 	*out = defaultOut(*out, "BENCH_ci_churn.json")
 
@@ -403,6 +426,64 @@ func runBytes(results []benchfmt.Result, family string, maxRatio float64, out st
 	}
 	if bad {
 		fmt.Fprintln(os.Stderr, "benchgate: real-backend cost regression (or missing data) — see above")
+		return 1
+	}
+	return 0
+}
+
+// runDurable is the -durable mode: the durable churn family holds a
+// heap lane (in-memory arena, real memmoves) and a wal lane (the same
+// churn in durable mode — WAL appends per placement, arena sync plus
+// group-fsync per checkpoint); their ns/op ratio must stay within
+// maxRatio. The replay result is one full wal.Open rebuild of a
+// 1e5-record log and must finish within maxReplayMs. Either half
+// missing fails the gate.
+func runDurable(results []benchfmt.Result, family, replay string, maxRatio, maxReplayMs float64, out string) int {
+	findings := map[string]float64{}
+	bad := false
+
+	heapNs, err1 := benchfmt.NsPerOp(results, family+"/heap")
+	walNs, err2 := benchfmt.NsPerOp(results, family+"/wal")
+	if err1 != nil || err2 != nil || heapNs <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: incomplete heap/wal pair for %s (%v, %v)\n", family, err1, err2)
+		bad = true
+	} else {
+		ratio := walNs / heapNs
+		findings["churn/ns_per_op_heap"] = heapNs
+		findings["churn/ns_per_op_wal"] = walNs
+		findings["churn/durable_ratio"] = ratio
+		findings["churn/durable_limit"] = maxRatio
+		status := "ok"
+		if ratio > maxRatio {
+			status = fmt.Sprintf("FAIL (limit %g)", maxRatio)
+			bad = true
+		}
+		fmt.Printf("durable churn: heap=%.0fns/op wal=%.0fns/op cost=%.2fx %s\n", heapNs, walNs, ratio, status)
+	}
+
+	replayNs, err := benchfmt.NsPerOp(results, replay)
+	if err != nil || replayNs <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: missing %s result (%v) — a renamed benchmark must not pass the gate\n", replay, err)
+		bad = true
+	} else {
+		ms := replayNs / 1e6
+		findings["replay/ms_per_100k_ops"] = ms
+		findings["replay/ms_limit"] = maxReplayMs
+		status := "ok"
+		if ms > maxReplayMs {
+			status = fmt.Sprintf("FAIL (limit %gms)", maxReplayMs)
+			bad = true
+		}
+		fmt.Printf("wal replay: %.1fms per 1e5 logged ops %s\n", ms, status)
+	}
+
+	if err := writeRecord(out, "ci_durable", "CI durability gate",
+		fmt.Sprintf("durable churn stays within %gx of the heap backend; 1e5-record WAL replay under %gms", maxRatio, maxReplayMs),
+		findings); err != nil {
+		return fail(err)
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "benchgate: durability regression (or missing data) — see above")
 		return 1
 	}
 	return 0

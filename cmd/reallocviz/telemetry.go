@@ -97,6 +97,8 @@ func telemetryCmd(ops, shards int, seed uint64, eps float64, spanTail int) error
 		{"flush moved volume (cells)", &snap.FlushMoved, false},
 		{"flush chunk size (cells)", &snap.FlushChunk, false},
 		{"migrate latency", &snap.MigrateLatency, true},
+		{"wal fsync latency", &snap.WALFsync, true},
+		{"recovery duration", &snap.Recovery, true},
 	} {
 		fmt.Print(renderHist(h.title, h.s, h.nanos, 40))
 	}

@@ -112,6 +112,31 @@
 // the same surface: Put records a crc64 checksum and Recover re-verifies
 // every durable block's bytes at its checkpointed extent.
 //
+// BlockStoreDir takes that contract to real media: the store keeps a
+// file-backed (mmap where available) payload arena synced at every
+// checkpoint plus a crc64-framed write-ahead log of every placement,
+// and OpenBlockStore recovers a directory by replaying the log to the
+// last durable checkpoint — truncating any torn tail — and verifying
+// each surviving block's checksum against the arena image:
+//
+//	s, _ := realloc.NewBlockStore(realloc.BlockStoreDir(dir))
+//	s.Put("root", pageBytes)
+//	s.Checkpoint()                      // arena sync + WAL record + group-fsync
+//	s.Close()
+//
+//	s, rep, _ := realloc.OpenBlockStore(realloc.BlockStoreDir(dir))
+//	data, _ := s.Get("root")            // verified against the arena image
+//	_ = rep.Recovered                   // blocks reloaded from the checkpoint
+//
+// The checkpoint rule is exactly what makes this sound: space freed
+// since the last checkpoint is never rewritten before the next one
+// completes, so the extents a durable checkpoint references stay
+// byte-identical in the arena image until a newer checkpoint is itself
+// durable. A crashmonkey-style harness (internal/btl) kills the store
+// at every enumerated media write and fsync — plus randomized
+// multi-fault schedules: torn writes, dropped fsyncs, transient EIO —
+// and proves recovery lands on a durable checkpoint every time.
+//
 // # Concurrency and sharding
 //
 // A Reallocator is not safe for concurrent use unless built WithLocking,

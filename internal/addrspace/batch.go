@@ -369,6 +369,44 @@ func (s *Space) executeBulk(plan []Relocation, b *batchState, consumed int, cutP
 			}
 		}
 		s.stampCells(target, mv.ID)
+		s.moves++
+		volume += size
+		b.curStart[mv.Ref] = target.Start
+
+		if emit != nil {
+			// Trajectory bookkeeping only matters to an observer; without
+			// one counters, cells, the freed set, and the final layout are
+			// unaffected. The emit happens BEFORE the physical copy below:
+			// a blocking move's checkpoint event must reach observers while
+			// the data layer still holds the pre-move image, or a
+			// durability hook snapshotting on checkpoints would capture
+			// this move's bytes — the first write AFTER the checkpoint —
+			// clobbering space the previous checkpoint still references.
+			pre := foot
+			if !b.everMoved[mv.Ref] {
+				// First applied move of this object: its index entry goes
+				// stale, so its pre-batch end leaves the cursor's world.
+				b.everMoved[mv.Ref] = true
+				pushMax(&b.goneTops, b.initStart[mv.Ref])
+				for top >= 0 && len(b.goneTops) > 0 && b.goneTops[0] == b.suffix[top].ext.Start {
+					popMax(&b.goneTops)
+					top--
+				}
+			}
+			pushEnd(&b.newEnds, endEntry{ref: mv.Ref, end: target.End()})
+			foot = b.topEnd()
+			if top >= 0 {
+				if e := b.suffix[top].ext.End(); e > foot {
+					foot = e
+				}
+			} else if belowEnd > foot {
+				foot = belowEnd
+			}
+			emit(MoveResult{
+				ID: mv.ID, Size: size, From: oldStart, To: target.Start,
+				Footprint: foot, PreFootprint: pre, Checkpointed: checkpointed,
+			})
+		}
 		if s.data != nil {
 			// Plan order is overlap-safe: each step's target is disjoint
 			// from every other live object at that instant (flush
@@ -376,40 +414,6 @@ func (s *Space) executeBulk(plan []Relocation, b *batchState, consumed int, cutP
 			// overlaps its own source is a single memmove.
 			s.data.Copy(target.Start, oldStart, size)
 		}
-		s.moves++
-		volume += size
-		b.curStart[mv.Ref] = target.Start
-
-		if emit == nil {
-			// Nobody observes per-move footprints: skip the trajectory
-			// bookkeeping entirely. Counters, cells, the freed set, and
-			// the final layout are unaffected.
-			continue
-		}
-		pre := foot
-		if !b.everMoved[mv.Ref] {
-			// First applied move of this object: its index entry goes
-			// stale, so its pre-batch end leaves the cursor's world.
-			b.everMoved[mv.Ref] = true
-			pushMax(&b.goneTops, b.initStart[mv.Ref])
-			for top >= 0 && len(b.goneTops) > 0 && b.goneTops[0] == b.suffix[top].ext.Start {
-				popMax(&b.goneTops)
-				top--
-			}
-		}
-		pushEnd(&b.newEnds, endEntry{ref: mv.Ref, end: target.End()})
-		foot = b.topEnd()
-		if top >= 0 {
-			if e := b.suffix[top].ext.End(); e > foot {
-				foot = e
-			}
-		} else if belowEnd > foot {
-			foot = belowEnd
-		}
-		emit(MoveResult{
-			ID: mv.ID, Size: size, From: oldStart, To: target.Start,
-			Footprint: foot, PreFootprint: pre, Checkpointed: checkpointed,
-		})
 	}
 
 	// Commit. After a mid-batch sync every touched object must be

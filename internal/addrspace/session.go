@@ -281,9 +281,6 @@ func (s *Space) applyOne(mv Relocation, oldStart, size int64, emit func(MoveResu
 	s.byStart.insert(placement{id: mv.ID, ext: target})
 	s.objects[mv.ID] = target
 	s.stampCells(target, mv.ID)
-	if s.data != nil {
-		s.data.Copy(target.Start, oldStart, size)
-	}
 	if s.opts.CheckpointRule {
 		var pieces [2]Extent
 		for _, piece := range pieces[:subtract(old, target, &pieces)] {
@@ -292,10 +289,19 @@ func (s *Space) applyOne(mv Relocation, oldStart, size int64, emit func(MoveResu
 	}
 	s.moves++
 	if emit != nil {
+		// Emit BEFORE the physical copy. A blocking move's checkpoint
+		// event must reach observers while the data layer still holds the
+		// pre-move image: a durability hook that snapshots the data on
+		// checkpoints would otherwise capture this move's bytes — the
+		// first write AFTER the checkpoint — inside it, clobbering space
+		// the previous checkpoint still references.
 		emit(MoveResult{
 			ID: mv.ID, Size: size, From: oldStart, To: target.Start,
 			Footprint: s.MaxEnd(), PreFootprint: pre, Checkpointed: checkpointed,
 		})
+	}
+	if s.data != nil {
+		s.data.Copy(target.Start, oldStart, size)
 	}
 	return nil
 }

@@ -19,9 +19,18 @@
 package arena
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrClosed is the use-after-Close sentinel. Payload access on a
+// closed backend panics with this value (Copy and Bytes sit on the
+// relocation hot path and have no error returns — a closed arena there
+// is a lifecycle bug, and a sentinel panic beats the opaque nil-index
+// or SIGSEGV it would otherwise decay to); Sync, which is on an error
+// path anyway, returns it.
+var ErrClosed = errors.New("arena: use after Close")
 
 // Kind names a backend implementation.
 type Kind int
@@ -37,6 +46,10 @@ const (
 	// Mmap backs the address space with an anonymous memory mapping
 	// (falling back to the heap on platforms without mmap).
 	Mmap
+	// File backs the address space with a named, file-backed mapping
+	// that Sync flushes to media (msync + fsync). A File backend needs
+	// a path: construct it with Create, Open, or FromFile, not New.
+	File
 )
 
 func (k Kind) String() string {
@@ -47,6 +60,8 @@ func (k Kind) String() string {
 		return "heap"
 	case Mmap:
 		return "mmap"
+	case File:
+		return "file"
 	default:
 		return "unknown"
 	}
@@ -103,8 +118,13 @@ type Backend interface {
 	// SetTiming arms (or disarms) CopyNanos recording. Off by default:
 	// an untimed Copy never reads a clock.
 	SetTiming(on bool)
-	// Close releases backend resources (a no-op for all but mmap). The
-	// backend must not be used after Close.
+	// Sync flushes payload bytes to durable media: msync + fsync for
+	// the file backend, a no-op nil for memory-only backends. After
+	// Close it returns ErrClosed.
+	Sync() error
+	// Close releases backend resources. Close is idempotent; any other
+	// use of a closed backend fails fast — payload access panics with
+	// ErrClosed, Sync returns it.
 	Close() error
 }
 
@@ -117,6 +137,8 @@ func New(k Kind) (Backend, error) {
 		return &heap{}, nil
 	case Mmap:
 		return newMmap()
+	case File:
+		return nil, errors.New("arena: the file backend needs a path; use Create, Open, or FromFile")
 	default:
 		return nil, fmt.Errorf("arena: unknown kind %d", int(k))
 	}
@@ -124,25 +146,45 @@ func New(k Kind) (Backend, error) {
 
 // metered counts what a real backend would do, and does nothing else.
 type metered struct {
-	c Counters
+	c      Counters
+	closed bool
 }
 
-func (m *metered) Kind() Kind   { return Metered }
-func (m *metered) Real() bool   { return false }
-func (m *metered) Ensure(int64) {}
+func (m *metered) Kind() Kind { return Metered }
+func (m *metered) Real() bool { return false }
+func (m *metered) Ensure(int64) {
+	if m.closed {
+		panic(ErrClosed)
+	}
+}
 func (m *metered) Copy(dst, src, size int64) {
+	if m.closed {
+		panic(ErrClosed)
+	}
 	m.c.BytesMoved += size
 	m.c.Copies++
 }
-func (m *metered) Bytes(start, size int64) []byte { return nil }
-func (m *metered) Counters() Counters             { return m.c }
-func (m *metered) SetTiming(bool)                 {}
-func (m *metered) Close() error                   { return nil }
+func (m *metered) Bytes(start, size int64) []byte {
+	if m.closed {
+		panic(ErrClosed)
+	}
+	return nil
+}
+func (m *metered) Counters() Counters { return m.c }
+func (m *metered) SetTiming(bool)     {}
+func (m *metered) Sync() error {
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+func (m *metered) Close() error { m.closed = true; return nil }
 
 // heap is the growable-slice backend.
 type heap struct {
 	mem    []byte
 	timing bool
+	closed bool
 	c      Counters
 }
 
@@ -150,6 +192,9 @@ func (h *heap) Kind() Kind { return Heap }
 func (h *heap) Real() bool { return true }
 
 func (h *heap) Ensure(n int64) {
+	if h.closed {
+		panic(ErrClosed)
+	}
 	if n <= int64(len(h.mem)) {
 		return
 	}
@@ -188,4 +233,10 @@ func (h *heap) Bytes(start, size int64) []byte {
 
 func (h *heap) Counters() Counters { return h.c }
 func (h *heap) SetTiming(on bool)  { h.timing = on }
-func (h *heap) Close() error       { h.mem = nil; return nil }
+func (h *heap) Sync() error {
+	if h.closed {
+		return ErrClosed
+	}
+	return nil
+}
+func (h *heap) Close() error { h.mem = nil; h.closed = true; return nil }

@@ -1,0 +1,38 @@
+//go:build !linux
+
+package arena
+
+import (
+	"path/filepath"
+
+	"realloc/internal/faultfs"
+)
+
+// Platforms without a portable msync get the plain-I/O file backend:
+// same durability contract (Sync writes the image back and fsyncs),
+// heap-mirrored payload bytes instead of a shared mapping.
+
+// Create builds a fresh file-backed arena at path, truncating any
+// existing file.
+func Create(path string) (Backend, error) {
+	f, err := faultfs.OS{Dir: filepath.Dir(path)}.OpenFile(filepath.Base(path))
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return FromFile(f)
+}
+
+// Open reopens a file-backed arena, exposing the file's current bytes
+// as the address-space image (creating an empty arena if the file does
+// not exist).
+func Open(path string) (Backend, error) {
+	f, err := faultfs.OS{Dir: filepath.Dir(path)}.OpenFile(filepath.Base(path))
+	if err != nil {
+		return nil, err
+	}
+	return FromFile(f)
+}

@@ -17,6 +17,7 @@ import (
 type mmapArena struct {
 	mem    []byte
 	timing bool
+	closed bool
 	c      Counters
 }
 
@@ -38,6 +39,9 @@ func (a *mmapArena) Kind() Kind { return Mmap }
 func (a *mmapArena) Real() bool { return true }
 
 func (a *mmapArena) Ensure(n int64) {
+	if a.closed {
+		panic(ErrClosed)
+	}
 	if n <= int64(len(a.mem)) {
 		return
 	}
@@ -93,10 +97,18 @@ func (a *mmapArena) Bytes(start, size int64) []byte {
 func (a *mmapArena) Counters() Counters { return a.c }
 func (a *mmapArena) SetTiming(on bool)  { a.timing = on }
 
+func (a *mmapArena) Sync() error {
+	if a.closed {
+		return ErrClosed
+	}
+	return nil // anonymous mapping: no backing media to flush
+}
+
 func (a *mmapArena) Close() error {
-	if a.mem == nil {
+	if a.closed {
 		return nil
 	}
+	a.closed = true
 	old := a.mem[:cap(a.mem)]
 	a.mem = nil
 	if len(old) == 0 {

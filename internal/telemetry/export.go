@@ -58,6 +58,8 @@ type Summaries struct {
 	MigrateLatencyNs Summary `json:"migrate_latency_ns"`
 	BatchSizeOps     Summary `json:"batch_size_ops"`
 	SubmitLatencyNs  Summary `json:"submit_latency_ns"`
+	WALFsyncNs       Summary `json:"wal_fsync_ns"`
+	RecoveryNs       Summary `json:"recovery_ns"`
 	Checkpoints      int64   `json:"checkpoints"`
 	BytesMoved       int64   `json:"bytes_moved"`
 }
@@ -76,6 +78,8 @@ func (s *Snapshot) Summaries() Summaries {
 		MigrateLatencyNs: s.MigrateLatency.Summary(),
 		BatchSizeOps:     s.BatchSize.Summary(),
 		SubmitLatencyNs:  s.SubmitLatency.Summary(),
+		WALFsyncNs:       s.WALFsync.Summary(),
+		RecoveryNs:       s.Recovery.Summary(),
 		Checkpoints:      s.Checkpoints,
 		BytesMoved:       s.BytesMoved,
 	}
@@ -107,6 +111,8 @@ func (s *Snapshot) AppendFindings(m map[string]float64, prefix string) {
 	add("migrate_latency", "ns", &s.MigrateLatency)
 	add("batch_size", "ops", &s.BatchSize)
 	add("submit_latency", "ns", &s.SubmitLatency)
+	add("wal_fsync", "ns", &s.WALFsync)
+	add("recovery", "ns", &s.Recovery)
 	if s.Checkpoints != 0 {
 		m[prefix+"checkpoints"] = float64(s.Checkpoints)
 	}
@@ -192,6 +198,10 @@ func writePrometheus(w io.Writer, reg *Registry) {
 			func(s *Snapshot) *HistSnapshot { return &s.BatchSize }},
 		{"realloc_submit_latency_seconds", "Async submit-to-complete latency per op.", 1e-9,
 			func(s *Snapshot) *HistSnapshot { return &s.SubmitLatency }},
+		{"realloc_wal_fsync_seconds", "WAL group-fsync latency.", 1e-9,
+			func(s *Snapshot) *HistSnapshot { return &s.WALFsync }},
+		{"realloc_recovery_seconds", "Crash-recovery duration per replay.", 1e-9,
+			func(s *Snapshot) *HistSnapshot { return &s.Recovery }},
 	}
 	for _, h := range hists {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)

@@ -24,7 +24,9 @@ func populatedRegistry(t *testing.T) *Registry {
 			set.FlushMoved.Record(r.Int63n(4096))
 			set.BatchSize.Record(1 + r.Int63n(512))
 			set.SubmitLatency.Record(r.Int63n(1 << 22))
+			set.WALFsync.Record(r.Int63n(1 << 21))
 		}
+		set.Recovery.Record(r.Int63n(1 << 26))
 		set.Checkpoints.Add(int64(10 * (i + 1)))
 	}
 	return reg
@@ -51,7 +53,11 @@ func TestPrometheusHandler(t *testing.T) {
 		`realloc_batch_size_ops_bucket{shard="0",`,
 		`realloc_batch_size_ops_count{shard="1"}`,
 		`realloc_submit_latency_seconds_bucket{shard="1",`,
+		`realloc_wal_fsync_seconds_bucket{shard="0",`,
+		`realloc_recovery_seconds_count{shard="1"}`,
 		"# TYPE realloc_insert_latency_seconds histogram",
+		"# TYPE realloc_wal_fsync_seconds histogram",
+		"# TYPE realloc_recovery_seconds histogram",
 		"# TYPE realloc_batch_size_ops histogram",
 		"# TYPE realloc_submit_latency_seconds histogram",
 		"# TYPE realloc_checkpoints_total counter",

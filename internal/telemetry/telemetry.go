@@ -254,6 +254,8 @@ type Set struct {
 	MigrateLatency Histogram // per-object rebalancer migration latency
 	BatchSize      Histogram // ops per executed batch group (Apply / async drains)
 	SubmitLatency  Histogram // async submit-to-complete latency per op
+	WALFsync       Histogram // WAL group-fsync latency (durable stores)
+	Recovery       Histogram // crash-recovery duration per Recover/Open replay
 	Checkpoints    Counter   // checkpointed placements (checkpointed/deamortized variants)
 	BytesMoved     Counter   // payload bytes relocations moved (mirror of the arena counter)
 }
@@ -270,6 +272,8 @@ func (s *Set) AddTo(snap *Snapshot) {
 	s.MigrateLatency.AddTo(&snap.MigrateLatency)
 	s.BatchSize.AddTo(&snap.BatchSize)
 	s.SubmitLatency.AddTo(&snap.SubmitLatency)
+	s.WALFsync.AddTo(&snap.WALFsync)
+	s.Recovery.AddTo(&snap.Recovery)
 	snap.Checkpoints += s.Checkpoints.Load()
 	snap.BytesMoved += s.BytesMoved.Load()
 }
@@ -288,6 +292,8 @@ type Snapshot struct {
 	MigrateLatency HistSnapshot
 	BatchSize      HistSnapshot
 	SubmitLatency  HistSnapshot
+	WALFsync       HistSnapshot
+	Recovery       HistSnapshot
 	Checkpoints    int64
 	BytesMoved     int64
 	Shards         int
